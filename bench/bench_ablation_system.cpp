@@ -1,0 +1,136 @@
+// System-level sensitivity ablations:
+//  * DRAM energy/bit: how robust is the YOLoC-vs-SRAM-CiM improvement to
+//    the dominant substitution constant (CACTI-IO-scale default 20 pJ/b).
+//  * Cache size: drives the activation-tiling weight re-fetch factor.
+//  * Mapping strategy: the paper's packed layer placement ("storing the
+//    weights of different layers to the same sub-array") vs dedicated
+//    subarrays — ADC/column utilization.
+//  * Boot amortization: inferences per power cycle vs YOLoC's amortized
+//    DRAM share.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "arch/system_sim.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "mapping/weight_mapper.hpp"
+
+namespace {
+
+using namespace yoloc;
+
+double yolo_improvement(const SystemConfig& cfg) {
+  const SystemSimulator sim(cfg);
+  const double anchor =
+      sim.sram_chip_area_for_bits(vgg8_model().weight_bits(8));
+  const IsoAreaComparison cmp =
+      compare_iso_area(sim, yolo_darknet19_model(), 4, 4, 1, anchor);
+  return cmp.yoloc.tops_per_watt() / cmp.sram_single.tops_per_watt();
+}
+
+void run_dram_sweep() {
+  std::printf("=== Ablation: DRAM energy/bit vs YOLO improvement ===\n");
+  TextTable t({"DRAM [pJ/b]", "YOLoC improvement"});
+  for (double pj : {5.0, 10.0, 20.0, 40.0}) {
+    SystemConfig cfg;
+    cfg.dram.energy_pj_per_bit = pj;
+    t.add_row({format_fixed(pj, 0),
+               format_fixed(yolo_improvement(cfg), 1) + "x"});
+  }
+  t.print();
+  std::printf("(the win persists even at optimistic DRAM energy)\n\n");
+}
+
+void run_cache_sweep() {
+  std::printf("=== Ablation: cache size vs YOLO improvement ===\n");
+  TextTable t({"Cache [KB]", "YOLoC improvement"});
+  for (double kb : {64.0, 128.0, 256.0, 512.0}) {
+    SystemConfig cfg;
+    cfg.cache.capacity_kb = kb;
+    t.add_row({format_fixed(kb, 0),
+               format_fixed(yolo_improvement(cfg), 1) + "x"});
+  }
+  t.print();
+  std::printf("(bigger caches reduce weight re-fetch in the baseline)\n\n");
+}
+
+void run_mapping_comparison() {
+  std::printf("=== Ablation: packed vs dedicated weight mapping (YOLO) "
+              "===\n");
+  const MacroGeometry geom = default_rom_macro().geometry;
+  const WeightMapper mapper(geom);
+  std::vector<LayerMvm> layers;
+  int id = 0;
+  for (const auto& layer : yolo_darknet19_model().layers) {
+    if (layer.weight_count() <= 0) continue;
+    LayerMvm lm;
+    lm.layer_id = id++;
+    lm.name = layer.name;
+    lm.shape = layer.kind == NetLayerKind::kFc
+                   ? fc_to_mvm(layer.in_ch, layer.out_ch)
+                   : conv_to_mvm(layer.in_ch, layer.out_ch, layer.kernel,
+                                 layer.out_h(), layer.out_w());
+    layers.push_back(lm);
+  }
+  TextTable t({"Strategy", "Subarrays", "Utilization [%]"});
+  for (auto strategy :
+       {MappingStrategy::kDedicated, MappingStrategy::kPacked}) {
+    const MappingPlan plan = mapper.map(layers, strategy);
+    t.add_row({strategy == MappingStrategy::kPacked ? "packed (paper)"
+                                                    : "dedicated",
+               std::to_string(plan.subarrays_used),
+               format_fixed(100.0 * plan.utilization, 1)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void run_boot_amortization() {
+  std::printf("=== Ablation: boot amortization vs YOLoC DRAM share ===\n");
+  TextTable t({"Inferences/boot", "YOLoC DRAM share [%]"});
+  for (double n : {10.0, 100.0, 1e3, 1e4}) {
+    SystemConfig cfg;
+    cfg.inferences_per_boot = n;
+    const SystemSimulator sim(cfg);
+    NetworkModel net = yolo_darknet19_model();
+    assign_backbone_to_rom(net, 1);
+    const SystemReport r = sim.simulate_yoloc(apply_rebranch(net, 4, 4));
+    t.add_row({format_si(n, 0),
+               format_fixed(100.0 * r.energy.dram_pj / r.energy.total_pj(),
+                            2)});
+  }
+  t.print();
+  std::printf("(SRAM-CiM weight load at power-on amortizes away quickly)\n\n");
+}
+
+void BM_WeightMappingYolo(benchmark::State& state) {
+  const WeightMapper mapper(default_rom_macro().geometry);
+  std::vector<LayerMvm> layers;
+  int id = 0;
+  for (const auto& layer : yolo_darknet19_model().layers) {
+    if (layer.weight_count() <= 0) continue;
+    layers.push_back({id++, layer.name,
+                      conv_to_mvm(layer.in_ch, layer.out_ch,
+                                  std::max(1, layer.kernel), layer.out_h(),
+                                  layer.out_w())});
+  }
+  for (auto _ : state) {
+    const MappingPlan plan = mapper.map(layers, MappingStrategy::kPacked);
+    benchmark::DoNotOptimize(plan.subarrays_used);
+  }
+}
+BENCHMARK(BM_WeightMappingYolo)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_dram_sweep();
+  run_cache_sweep();
+  run_mapping_comparison();
+  run_boot_amortization();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

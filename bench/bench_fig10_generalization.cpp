@@ -1,0 +1,98 @@
+// Figure 10: ReBranch generalization analysis.
+//  (a) Source -> {cifar10, mnist, fashion, caltech}-like transfer
+//      accuracy for All-SRAM vs All-ROM vs ReBranch (paper: ReBranch
+//      within ~1% of All-SRAM, All-ROM clearly behind on shifted
+//      targets; paper row: 90.9/99.2/93.9/66.8 vs 87.3/99.2/92.2/56.1
+//      vs 90.2/99.4/93.0/67.5).
+//  (b) Accuracy + normalized memory area for All-SRAM / All-ROM /
+//      DeepConv / ReBranch on VGG-8 and ResNet-18 (paper: ReBranch ~10x
+//      area saving at <0.4% accuracy loss).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "rebranch/transfer.hpp"
+
+namespace {
+
+using namespace yoloc;
+
+TransferSetup bench_setup(BackboneKind backbone) {
+  TransferSetup setup;
+  setup.backbone = backbone;
+  setup.image_size = 16;
+  setup.base_width = 12;
+  setup.rebranch = ReBranchConfig{4, 4};
+  setup.pretrain_samples_per_class = 30;
+  setup.target_train_samples_per_class = 25;
+  setup.target_test_samples_per_class = 20;
+  setup.pretrain_cfg.epochs = 10;
+  setup.finetune_cfg.epochs = 8;
+  return setup;
+}
+
+void run_fig10a() {
+  std::printf("=== Figure 10(a): transfer accuracy, VGG-8 backbone ===\n");
+  TransferHarness harness(bench_setup(BackboneKind::kVgg8));
+  const auto targets = all_transfer_targets(16);
+  TextTable t({"Target", "All SRAM [%]", "All ROM [%]", "ReBranch [%]"});
+  for (const auto& target : targets) {
+    std::vector<double> row;
+    for (auto opt : {TransferOption::kAllSram, TransferOption::kAllRom,
+                     TransferOption::kReBranch}) {
+      row.push_back(100.0 * harness.run(opt, target).accuracy);
+    }
+    t.add_row(target.name, row, 1);
+  }
+  t.print();
+  std::printf("(source-suite accuracy of the pretrained backbone: %.1f%%)\n\n",
+              100.0 * harness.source_accuracy());
+}
+
+void run_fig10b() {
+  std::printf(
+      "=== Figure 10(b): accuracy + normalized memory area "
+      "(cifar10-like target) ===\n");
+  TextTable t({"Backbone", "Method", "Accuracy [%]", "Mem area [norm]"});
+  for (auto backbone : {BackboneKind::kVgg8, BackboneKind::kResNet18}) {
+    TransferHarness harness(bench_setup(backbone));
+    const DatasetSpec target = cifar10_like_spec(16);
+    double all_sram_area = 0.0;
+    for (auto opt : {TransferOption::kAllSram, TransferOption::kAllRom,
+                     TransferOption::kDeepConv, TransferOption::kReBranch}) {
+      const TransferOutcome o = harness.run(opt, target);
+      if (opt == TransferOption::kAllSram) all_sram_area = o.memory_area_mm2;
+      t.add_row({backbone_name(backbone), option_name(opt),
+                 format_fixed(100.0 * o.accuracy, 1),
+                 format_fixed(o.memory_area_mm2 / all_sram_area, 3)});
+    }
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void BM_TransferFinetuneEpoch(benchmark::State& state) {
+  TransferSetup setup = bench_setup(BackboneKind::kVgg8);
+  setup.finetune_cfg.epochs = 1;
+  TransferHarness harness(setup);
+  const DatasetSpec target = mnist_like_spec(16);
+  for (auto _ : state) {
+    const TransferOutcome o = harness.run(TransferOption::kReBranch, target);
+    benchmark::DoNotOptimize(o.accuracy);
+  }
+}
+BENCHMARK(BM_TransferFinetuneEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_fig10a();
+  run_fig10b();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

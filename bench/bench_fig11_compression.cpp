@@ -1,0 +1,101 @@
+// Figure 11: ReBranch hyper-parameter analysis.
+//  (a) Branch compression ratio D*U in {4, 16, 64} (D = U): accuracy vs
+//      normalized ROM+SRAM area. Paper: D*U=16 is the knee — small D*U
+//      leaves an SRAM area bottleneck, large D*U loses accuracy.
+//  (b) Compression/decompression split at fixed D*U=16:
+//      (D,U) in {(1,16),(2,8),(4,4),(8,2),(16,1)}. Paper: balanced 4-4
+//      maximizes accuracy.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "rebranch/transfer.hpp"
+
+namespace {
+
+using namespace yoloc;
+
+TransferSetup sweep_setup(BackboneKind backbone, const ReBranchConfig& rb) {
+  TransferSetup setup;
+  setup.backbone = backbone;
+  setup.image_size = 16;
+  setup.base_width = 12;  // wide enough that D=U=8 still has channels
+  setup.rebranch = rb;
+  setup.pretrain_samples_per_class = 25;
+  setup.target_train_samples_per_class = 20;
+  setup.target_test_samples_per_class = 20;
+  setup.pretrain_cfg.epochs = 7;
+  setup.finetune_cfg.epochs = 6;
+  return setup;
+}
+
+double run_point(BackboneKind backbone, const ReBranchConfig& rb,
+                 double* area_norm) {
+  TransferHarness harness(sweep_setup(backbone, rb));
+  const DatasetSpec target = cifar10_like_spec(16);
+  const TransferOutcome rebranch = harness.run(TransferOption::kReBranch,
+                                               target);
+  if (area_norm != nullptr) {
+    const TransferOutcome all_sram =
+        harness.run(TransferOption::kAllSram, target);
+    *area_norm = rebranch.memory_area_mm2 / all_sram.memory_area_mm2;
+  }
+  return rebranch.accuracy;
+}
+
+void run_fig11a() {
+  std::printf("=== Figure 11(a): accuracy & area vs D*U (D = U) ===\n");
+  TextTable t({"D*U", "VGG-8 acc [%]", "ResNet-18 acc [%]",
+               "Mem area [norm, VGG-8]"});
+  for (int d : {2, 4, 8}) {
+    const ReBranchConfig rb{d, d};
+    double area_norm = 0.0;
+    const double vgg = run_point(BackboneKind::kVgg8, rb, &area_norm);
+    const double resnet = run_point(BackboneKind::kResNet18, rb, nullptr);
+    t.add_row({std::to_string(d * d), format_fixed(100.0 * vgg, 1),
+               format_fixed(100.0 * resnet, 1), format_fixed(area_norm, 3)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void run_fig11b() {
+  std::printf(
+      "=== Figure 11(b): accuracy vs D-U split at fixed D*U = 16 ===\n");
+  TextTable t({"D-U", "VGG-8 acc [%]", "ResNet-18 acc [%]"});
+  const std::pair<int, int> splits[] = {{1, 16}, {2, 8}, {4, 4}, {8, 2},
+                                        {16, 1}};
+  for (const auto& [d, u] : splits) {
+    const ReBranchConfig rb{d, u};
+    const double vgg = run_point(BackboneKind::kVgg8, rb, nullptr);
+    const double resnet = run_point(BackboneKind::kResNet18, rb, nullptr);
+    t.add_row({std::to_string(d) + "-" + std::to_string(u),
+               format_fixed(100.0 * vgg, 1), format_fixed(100.0 * resnet, 1)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void BM_ReBranchModelBuild(benchmark::State& state) {
+  ZooConfig zoo;
+  zoo.image_size = 16;
+  zoo.base_width = 16;
+  for (auto _ : state) {
+    LayerPtr net = build_vgg8_lite(zoo, make_rebranch_factory({4, 4}));
+    benchmark::DoNotOptimize(net.get());
+  }
+}
+BENCHMARK(BM_ReBranchModelBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_fig11a();
+  run_fig11b();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Figure 12: detection mAP and chip area across deployment options.
+//  * Bar part: mAP on the VOC-like target + total chip area (all weights
+//    on chip) for SRAM-CiM / Tiny-YOLO / Deep-Conv / YOLoC. Paper: YOLoC
+//    matches the SRAM-CiM baseline's mAP (81.4 vs 81.2) at 9.7x less
+//    area; Tiny-YOLO saves area (2.4x) but drops >10 mAP; Deep-Conv
+//    drops ~3 mAP.
+//  * Table part: COCO-like -> {pedestrian, traffic, VOC}-like transfer
+//    mAP for the SRAM-CiM baseline, Option II (prediction-only) and the
+//    proposed ReBranch.
+//
+// mAP comes from actually training the -lite detectors on synthetic
+// scenes; chip area comes from the full-size YOLO / Tiny-YOLO layer
+// tables through the system area model (see DESIGN.md substitutions).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "arch/system_sim.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "rebranch/detection_transfer.hpp"
+
+namespace {
+
+using namespace yoloc;
+
+DetectionTransferSetup bench_setup() {
+  DetectionTransferSetup setup;
+  setup.image_size = 48;
+  setup.base_width = 8;
+  setup.pretrain_scenes = 300;
+  setup.target_train_scenes = 200;
+  setup.target_test_scenes = 120;
+  setup.pretrain_cfg.epochs = 12;
+  setup.finetune_cfg.epochs = 7;
+  return setup;
+}
+
+/// Full-size chip area for each option: all weights resident.
+double option_chip_area_mm2(DetectorOption opt, const SystemSimulator& sim) {
+  switch (opt) {
+    case DetectorOption::kSramCim:  // all-SRAM chip holding full YOLO
+      return sim.sram_chip_area_for_bits(
+          yolo_darknet19_model().weight_bits(8));
+    case DetectorOption::kTinyYolo:  // all-SRAM chip holding Tiny-YOLO
+      return sim.sram_chip_area_for_bits(tiny_yolo_model().weight_bits(8));
+    case DetectorOption::kDeepConv: {
+      // Backbone in ROM except the deepest conv + head in SRAM.
+      NetworkModel net = yolo_darknet19_model();
+      assign_backbone_to_rom(net, /*sram_tail_layers=*/2);
+      return sim.simulate_yoloc(net).area.total_mm2;
+    }
+    case DetectorOption::kYoloc: {
+      NetworkModel net = yolo_darknet19_model();
+      assign_backbone_to_rom(net, 1);
+      return sim.simulate_yoloc(apply_rebranch(net, 4, 4)).area.total_mm2;
+    }
+  }
+  return 0.0;
+}
+
+void run_bar_chart(DetectionTransferHarness& harness) {
+  std::printf(
+      "=== Figure 12: mAP (VOC-like) + chip area (all weights fit) ===\n");
+  const SystemSimulator sim{SystemConfig{}};
+  const DetectionSpec voc = voc_like_spec(48);
+
+  const double sram_area =
+      option_chip_area_mm2(DetectorOption::kSramCim, sim);
+  TextTable t({"Method", "mAP [%]", "Chip area [mm^2]", "Area saving"});
+  for (auto opt : {DetectorOption::kSramCim, DetectorOption::kTinyYolo,
+                   DetectorOption::kDeepConv, DetectorOption::kYoloc}) {
+    const DetectionOutcome o = harness.run(opt, voc);
+    const double area = option_chip_area_mm2(opt, sim);
+    t.add_row({detector_option_name(opt), format_fixed(100.0 * o.map, 1),
+               format_fixed(area, 1),
+               format_fixed(sram_area / area, 1) + "x"});
+  }
+  t.print();
+  std::printf("(source COCO-like mAP of the pretrained detector: %.1f%%)\n\n",
+              100.0 * harness.source_map());
+}
+
+void run_transfer_table(DetectionTransferHarness& harness) {
+  std::printf(
+      "=== Figure 12 table: COCO-like -> target transfer mAP [%%] ===\n");
+  const DetectionSpec targets[] = {pedestrian_like_spec(48),
+                                   traffic_like_spec(48), voc_like_spec(48)};
+  TextTable t({"Method", "-> pedestrian", "-> traffic", "-> VOC"});
+  for (auto opt : {DetectorOption::kSramCim, DetectorOption::kPredOnly,
+                   DetectorOption::kYoloc}) {
+    std::vector<double> row;
+    for (const auto& target : targets) {
+      row.push_back(100.0 * harness.run(opt, target).map);
+    }
+    t.add_row(detector_option_name(opt), row, 1);
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void BM_DetectorInference(benchmark::State& state) {
+  ZooConfig zoo;
+  zoo.image_size = 48;
+  zoo.base_width = 8;
+  zoo.num_classes = kNumShapeClasses;
+  LayerPtr det = build_detector_lite(zoo, plain_conv_unit);
+  Rng rng(5);
+  Tensor batch = Tensor::rand_uniform({8, 3, 48, 48}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = det->forward(batch, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DetectorInference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DetectionTransferHarness harness(bench_setup());
+  run_bar_chart(harness);
+  run_transfer_table(harness);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

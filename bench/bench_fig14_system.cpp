@@ -1,0 +1,139 @@
+// Figure 14: chip-level comparison of YOLoC vs single-chip SRAM-CiM vs
+// SRAM-CiM chiplets.
+//  (a) Area vs energy efficiency for the YOLO workload (paper: YOLoC at
+//      a fraction of the silicon with the best efficiency; single chip
+//      DRAM-bound; ~10 chiplets reach parity at ~10x silicon).
+//  (b) YOLoC chip area breakdown (paper: array 37%, ADC 21%, R/W 20%,
+//      peripheral 12%, buffer 10%).
+//  (c) Energy breakdown of the iso-area SRAM-CiM baseline per model and
+//      the YOLoC energy-efficiency improvement (paper: VGG-8 1x,
+//      ResNet-18 4.8x, Tiny-YOLO 10.2x, YOLO 14.8x).
+//
+// Iso-area anchor: the SRAM-CiM chip that holds the smallest model
+// (VGG-8) entirely — the configuration where the paper reports 1x.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "arch/system_sim.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+using namespace yoloc;
+
+void run_fig14a(const SystemSimulator& sim, double anchor_mm2) {
+  std::printf("=== Figure 14(a): area vs energy efficiency (YOLO) ===\n");
+  const IsoAreaComparison cmp =
+      compare_iso_area(sim, yolo_darknet19_model(), 4, 4, 1, anchor_mm2);
+  TextTable t({"Configuration", "Chips", "Total area [mm^2]",
+               "Energy eff [TOPS/W]", "Energy/inf [uJ]"});
+  for (const SystemReport* r :
+       {&cmp.yoloc, &cmp.sram_single, &cmp.sram_chiplets}) {
+    t.add_row({deployment_name(r->deployment), std::to_string(r->area.chips),
+               format_fixed(r->area.total_mm2, 1),
+               format_fixed(r->tops_per_watt(), 2),
+               format_fixed(r->energy_uj(), 1)});
+  }
+  t.print();
+  std::printf("Chiplet silicon vs YOLoC: %.1fx; chiplet efficiency vs "
+              "YOLoC: %.2fx (paper: ~10x area saving, ~2%% efficiency "
+              "delta)\n\n",
+              cmp.sram_chiplets.area.total_mm2 / cmp.yoloc.area.total_mm2,
+              cmp.sram_chiplets.tops_per_watt() / cmp.yoloc.tops_per_watt());
+}
+
+void run_fig14b(const SystemSimulator& sim) {
+  std::printf("=== Figure 14(b): YOLoC chip area breakdown (YOLO) ===\n");
+  NetworkModel net = yolo_darknet19_model();
+  assign_backbone_to_rom(net, 1);
+  const SystemReport r = sim.simulate_yoloc(apply_rebranch(net, 4, 4));
+  const double total = r.area.total_mm2;
+  TextTable t({"Component", "Area [mm^2]", "Share [%]", "Paper [%]"});
+  t.add_row({"CiM array", format_fixed(r.area.array_mm2, 2),
+             format_fixed(100.0 * r.area.array_mm2 / total, 1), "37"});
+  t.add_row({"ADC", format_fixed(r.area.adc_mm2, 2),
+             format_fixed(100.0 * r.area.adc_mm2 / total, 1), "21"});
+  t.add_row({"R/W interface", format_fixed(r.area.rw_mm2, 2),
+             format_fixed(100.0 * r.area.rw_mm2 / total, 1), "20"});
+  t.add_row({"Peripheral", format_fixed(r.area.peripheral_mm2, 2),
+             format_fixed(100.0 * r.area.peripheral_mm2 / total, 1), "12"});
+  t.add_row({"Buffer", format_fixed(r.area.buffer_mm2, 2),
+             format_fixed(100.0 * r.area.buffer_mm2 / total, 1), "10"});
+  t.print();
+  std::printf("\n");
+}
+
+void run_fig14c(const SystemSimulator& sim, double anchor_mm2) {
+  std::printf(
+      "=== Figure 14(c): baseline energy breakdown + YOLoC improvement "
+      "===\n");
+  TextTable t({"Model", "CiM [%]", "Periph [%]", "Buffer+NoC [%]",
+               "DRAM(+write) [%]", "Improvement", "Paper"});
+  const char* paper[] = {"1x", "4.8x", "10.2x", "14.8x"};
+  int idx = 0;
+  for (const auto& net : paper_model_suite()) {
+    const IsoAreaComparison cmp =
+        compare_iso_area(sim, net, 4, 4, 1, anchor_mm2);
+    const EnergyBreakdown& e = cmp.sram_single.energy;
+    const double total = e.total_pj();
+    const double dram = e.dram_pj + e.weight_write_pj;
+    const double improvement =
+        cmp.yoloc.tops_per_watt() / cmp.sram_single.tops_per_watt();
+    t.add_row({net.name, format_fixed(100.0 * e.cim_array_pj / total, 1),
+               format_fixed(100.0 * e.cim_peripheral_pj / total, 1),
+               format_fixed(100.0 * (e.buffer_pj + e.noc_pj) / total, 1),
+               format_fixed(100.0 * dram / total, 1),
+               format_fixed(improvement, 1) + "x", paper[idx]});
+    ++idx;
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void run_latency_overhead(const SystemSimulator& sim) {
+  std::printf("=== ReBranch latency overhead (paper: ~8%% on YOLO) ===\n");
+  NetworkModel base = yolo_darknet19_model();
+  assign_backbone_to_rom(base, 1);
+  const SystemReport with_branch =
+      sim.simulate_yoloc(apply_rebranch(base, 4, 4));
+  const SystemReport without_branch = sim.simulate_yoloc(base);
+  std::printf("latency without branch: %.1f us, with branch: %.1f us "
+              "(overhead %.1f%%)\n\n",
+              without_branch.latency.total_ns() * 1e-3,
+              with_branch.latency.total_ns() * 1e-3,
+              100.0 * (with_branch.latency.total_ns() /
+                           without_branch.latency.total_ns() -
+                       1.0));
+}
+
+void BM_SystemSimulationYolo(benchmark::State& state) {
+  const SystemSimulator sim{SystemConfig{}};
+  NetworkModel net = yolo_darknet19_model();
+  assign_backbone_to_rom(net, 1);
+  const NetworkModel deployed = apply_rebranch(net, 4, 4);
+  for (auto _ : state) {
+    const SystemReport r = sim.simulate_yoloc(deployed);
+    benchmark::DoNotOptimize(r.energy.total_pj());
+  }
+}
+BENCHMARK(BM_SystemSimulationYolo)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SystemSimulator sim{SystemConfig{}};
+  const double anchor =
+      sim.sram_chip_area_for_bits(vgg8_model().weight_bits(8));
+  std::printf("iso-area anchor (SRAM-CiM chip fitting VGG-8): %.1f mm^2\n\n",
+              anchor);
+  run_fig14a(sim, anchor);
+  run_fig14b(sim);
+  run_fig14c(sim, anchor);
+  run_latency_overhead(sim);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Figure 6: the four flexibility options compared on one transfer task,
+// plus the transferability-decay experiment behind Option II
+// (Fig. 6(b): freezing deeper and deeper prefixes of the backbone in ROM
+// loses accuracy, because transferability decays with depth).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "nn/trainer.hpp"
+#include "rebranch/rebranch.hpp"
+#include "rebranch/transfer.hpp"
+
+namespace {
+
+using namespace yoloc;
+
+TransferSetup bench_setup() {
+  TransferSetup setup;
+  setup.backbone = BackboneKind::kVgg8;
+  setup.image_size = 16;
+  setup.base_width = 12;
+  setup.pretrain_samples_per_class = 30;
+  setup.target_train_samples_per_class = 25;
+  setup.target_test_samples_per_class = 20;
+  setup.pretrain_cfg.epochs = 10;
+  setup.finetune_cfg.epochs = 8;
+  return setup;
+}
+
+void run_option_comparison() {
+  std::printf("=== Figure 6: flexibility options on caltech-like target "
+              "===\n");
+  TransferHarness harness(bench_setup());
+  const DatasetSpec target = caltech_like_spec(16);
+  TextTable t({"Option", "Accuracy [%]", "ROM bits", "SRAM bits"});
+  for (auto opt : {TransferOption::kRosl, TransferOption::kAllRom,
+                   TransferOption::kDeepConv, TransferOption::kSpwd,
+                   TransferOption::kReBranch, TransferOption::kAllSram}) {
+    const TransferOutcome o = harness.run(opt, target);
+    t.add_row({option_name(opt), format_fixed(100.0 * o.accuracy, 1),
+               format_si(o.split.rom_bits, 1), format_si(o.split.sram_bits, 1)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+/// Fig. 6(b): freeze the first k backbone convs (ROM), train the rest.
+void run_transferability_decay() {
+  std::printf("=== Figure 6(b): transferability decay with freeze depth "
+              "===\n");
+  const TransferSetup setup = bench_setup();
+  Rng data_rng(setup.data_seed);
+  const DatasetSpec source = source_suite_spec(16);
+  const LabeledDataset src_train = generate_classification(
+      source, setup.pretrain_samples_per_class, data_rng);
+  const DatasetSpec target = caltech_like_spec(16);
+  Rng target_rng(setup.data_seed ^ 0xBEEF);
+  const LabeledDataset tgt_train = generate_classification(
+      target, setup.target_train_samples_per_class, target_rng);
+  const LabeledDataset tgt_test = generate_classification(
+      target, setup.target_test_samples_per_class, target_rng);
+
+  ZooConfig zoo;
+  zoo.image_size = setup.image_size;
+  zoo.base_width = setup.base_width;
+  zoo.num_classes = source.num_classes;
+  zoo.seed = 99;
+  LayerPtr pretrained = build_vgg8_lite(zoo, plain_conv_unit);
+  (void)train_classifier(*pretrained, src_train.images, src_train.labels,
+                         setup.pretrain_cfg);
+  const ParamSnapshot snapshot = snapshot_parameters(*pretrained);
+
+  // The six backbone convs in order (see nn/zoo.cpp naming).
+  const char* conv_names[] = {
+      "backbone.stage0.conv1", "backbone.stage0.conv2",
+      "backbone.stage1.conv1", "backbone.stage1.conv2",
+      "backbone.stage2.conv1", "backbone.stage2.conv2"};
+
+  TextTable t({"Frozen prefix [convs]", "Accuracy [%]"});
+  for (int freeze_depth = 0; freeze_depth <= 6; ++freeze_depth) {
+    ZooConfig tz = zoo;
+    tz.num_classes = target.num_classes;
+    LayerPtr net = build_vgg8_lite(tz, plain_conv_unit);
+    restore_parameters(*net, snapshot);
+    for (Parameter* p : net->parameters()) {
+      bool frozen = false;
+      for (int c = 0; c < freeze_depth; ++c) {
+        if (p->name.find(conv_names[c]) != std::string::npos) frozen = true;
+      }
+      p->trainable = !frozen;
+      p->rom_resident = frozen;
+    }
+    (void)train_classifier(*net, tgt_train.images, tgt_train.labels,
+                           setup.finetune_cfg);
+    const double acc =
+        evaluate_classifier(*net, tgt_test.images, tgt_test.labels);
+    t.add_row({std::to_string(freeze_depth), format_fixed(100.0 * acc, 1)});
+  }
+  t.print();
+  std::printf("(0 = all layers trainable; 6 = classifier-only, Option II "
+              "extreme)\n\n");
+}
+
+void BM_PolicyApplication(benchmark::State& state) {
+  ZooConfig zoo;
+  zoo.image_size = 16;
+  zoo.base_width = 12;
+  LayerPtr net = build_vgg8_lite(zoo, make_rebranch_factory({4, 4}));
+  for (auto _ : state) {
+    apply_transfer_policy(*net, TransferOption::kReBranch);
+    benchmark::DoNotOptimize(net.get());
+  }
+}
+BENCHMARK(BM_PolicyApplication);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_option_comparison();
+  run_transferability_decay();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

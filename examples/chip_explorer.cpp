@@ -1,0 +1,66 @@
+// Chip-design-space explorer: sweeps the deployment knobs of the system
+// model and prints how energy efficiency, area and latency respond —
+// the kind of what-if analysis an architect would run before committing
+// a ROM mask set.
+//
+//   build/examples/chip_explorer
+
+#include <cstdio>
+
+#include "arch/system_sim.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+int main() {
+  using namespace yoloc;
+
+  std::printf("=== YOLoC design-space exploration (YOLO workload) ===\n\n");
+
+  // Sweep 1: ReBranch compression ratio vs chip area & SRAM share.
+  std::printf("-- ReBranch D*U vs chip cost --\n");
+  TextTable t1({"D=U", "Chip area [mm^2]", "SRAM-CiM bits [Mb]",
+                "Energy/inf [uJ]", "Latency [us]"});
+  const SystemSimulator sim{SystemConfig{}};
+  for (int d : {2, 4, 8}) {
+    NetworkModel net = yolo_darknet19_model();
+    assign_backbone_to_rom(net, 1);
+    const SystemReport r = sim.simulate_yoloc(apply_rebranch(net, d, d));
+    t1.add_row({std::to_string(d), format_fixed(r.area.total_mm2, 1),
+                format_fixed(r.sram_cim_bits_used / 1e6, 1),
+                format_fixed(r.energy_uj(), 1),
+                format_fixed(r.latency.total_ns() * 1e-3, 1)});
+  }
+  t1.print();
+
+  // Sweep 2: how many parallel lanes are worth wiring up.
+  std::printf("\n-- parallel subarray lanes vs latency --\n");
+  TextTable t2({"Lanes", "Latency [us]", "Throughput [GOPS]"});
+  for (double lanes : {16.0, 64.0, 256.0}) {
+    SystemConfig cfg;
+    cfg.parallel_lanes = lanes;
+    const SystemSimulator s(cfg);
+    NetworkModel net = yolo_darknet19_model();
+    assign_backbone_to_rom(net, 1);
+    const SystemReport r = s.simulate_yoloc(apply_rebranch(net, 4, 4));
+    t2.add_row({format_fixed(lanes, 0),
+                format_fixed(r.latency.total_ns() * 1e-3, 1),
+                format_fixed(r.gops(), 0)});
+  }
+  t2.print();
+
+  // Sweep 3: all four paper models on one page.
+  std::printf("\n-- model suite on YOLoC chips --\n");
+  TextTable t3({"Model", "Weights [M]", "Chip area [mm^2]",
+                "Energy/inf [uJ]", "TOPS/W"});
+  for (const auto& base : paper_model_suite()) {
+    NetworkModel net = base;
+    assign_backbone_to_rom(net, 1);
+    const SystemReport r = sim.simulate_yoloc(apply_rebranch(net, 4, 4));
+    t3.add_row({base.name, format_fixed(base.total_weights() / 1e6, 1),
+                format_fixed(r.area.total_mm2, 1),
+                format_fixed(r.energy_uj(), 1),
+                format_fixed(r.tops_per_watt(), 2)});
+  }
+  t3.print();
+  return 0;
+}

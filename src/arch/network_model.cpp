@@ -1,0 +1,301 @@
+#include "arch/network_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+double NetLayer::weight_count() const {
+  switch (kind) {
+    case NetLayerKind::kConv:
+      return static_cast<double>(in_ch) * out_ch * kernel * kernel;
+    case NetLayerKind::kFc:
+      return static_cast<double>(in_ch) * out_ch;
+    case NetLayerKind::kPool:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double NetLayer::macs() const {
+  switch (kind) {
+    case NetLayerKind::kConv:
+      return weight_count() * out_h() * out_w();
+    case NetLayerKind::kFc:
+      return weight_count();
+    case NetLayerKind::kPool:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double NetLayer::input_bytes(int act_bits) const {
+  return static_cast<double>(in_ch) * in_h * in_w * act_bits / 8.0;
+}
+
+double NetLayer::output_bytes(int act_bits) const {
+  return static_cast<double>(out_ch) * out_h() * out_w() * act_bits / 8.0;
+}
+
+double NetworkModel::total_weights() const {
+  double w = 0.0;
+  for (const auto& l : layers) w += l.weight_count();
+  return w;
+}
+
+double NetworkModel::total_macs() const {
+  double m = 0.0;
+  for (const auto& l : layers) m += l.macs();
+  return m;
+}
+
+double NetworkModel::weight_bits(int weight_bits_per) const {
+  return total_weights() * weight_bits_per;
+}
+
+double NetworkModel::weights_with_residency(Residency r) const {
+  double w = 0.0;
+  for (const auto& l : layers) {
+    if (l.residency == r) w += l.weight_count();
+  }
+  return w;
+}
+
+double NetworkModel::peak_activation_bytes(int act_bits) const {
+  double peak = 0.0;
+  for (const auto& l : layers) {
+    peak = std::max({peak, l.input_bytes(act_bits), l.output_bytes(act_bits)});
+  }
+  return peak;
+}
+
+void add_conv(NetworkModel& net, const std::string& name, int in_ch,
+              int out_ch, int kernel, int stride, int hw) {
+  NetLayer l;
+  l.name = name;
+  l.kind = NetLayerKind::kConv;
+  l.in_ch = in_ch;
+  l.out_ch = out_ch;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.in_h = hw;
+  l.in_w = hw;
+  net.layers.push_back(l);
+}
+
+namespace {
+
+void add_pool(NetworkModel& net, const std::string& name, int ch, int hw) {
+  NetLayer l;
+  l.name = name;
+  l.kind = NetLayerKind::kPool;
+  l.in_ch = ch;
+  l.out_ch = ch;
+  l.kernel = 2;
+  l.stride = 2;
+  l.in_h = hw;
+  l.in_w = hw;
+  net.layers.push_back(l);
+}
+
+void add_fc(NetworkModel& net, const std::string& name, int in_features,
+            int out_features) {
+  NetLayer l;
+  l.name = name;
+  l.kind = NetLayerKind::kFc;
+  l.in_ch = in_features;
+  l.out_ch = out_features;
+  l.kernel = 1;
+  l.in_h = 1;
+  l.in_w = 1;
+  net.layers.push_back(l);
+}
+
+}  // namespace
+
+NetworkModel vgg8_model() {
+  NetworkModel net;
+  net.name = "VGG-8";
+  net.input_size = 32;
+  add_conv(net, "conv1_1", 3, 64, 3, 1, 32);
+  add_conv(net, "conv1_2", 64, 64, 3, 1, 32);
+  add_pool(net, "pool1", 64, 32);
+  add_conv(net, "conv2_1", 64, 128, 3, 1, 16);
+  add_conv(net, "conv2_2", 128, 128, 3, 1, 16);
+  add_pool(net, "pool2", 128, 16);
+  add_conv(net, "conv3_1", 128, 256, 3, 1, 8);
+  add_conv(net, "conv3_2", 256, 256, 3, 1, 8);
+  add_pool(net, "pool3", 256, 8);
+  add_fc(net, "fc1", 256 * 4 * 4, 1024);
+  add_fc(net, "fc2", 1024, 100);
+  return net;
+}
+
+NetworkModel resnet18_model() {
+  // ImageNet-style ResNet-18 (224x224 input): the configuration the
+  // system-level evaluation uses. (The transfer experiments use the
+  // CIFAR-pretrained -lite variant from nn/zoo.hpp instead.)
+  NetworkModel net;
+  net.name = "ResNet-18";
+  net.input_size = 224;
+  add_conv(net, "stem", 3, 64, 7, 2, 224);
+  NetLayer stem_pool;
+  stem_pool.name = "stem.pool";
+  stem_pool.kind = NetLayerKind::kPool;
+  stem_pool.in_ch = stem_pool.out_ch = 64;
+  stem_pool.kernel = 2;
+  stem_pool.stride = 2;
+  stem_pool.in_h = stem_pool.in_w = 112;
+  net.layers.push_back(stem_pool);
+  const int stage_ch[4] = {64, 128, 256, 512};
+  int hw = 56;
+  int in_ch = 64;
+  for (int s = 0; s < 4; ++s) {
+    const int ch = stage_ch[s];
+    const int stride = s == 0 ? 1 : 2;
+    const std::string base = "stage" + std::to_string(s);
+    add_conv(net, base + ".b0.conv1", in_ch, ch, 3, stride, hw);
+    hw = stride == 2 ? hw / 2 : hw;
+    add_conv(net, base + ".b0.conv2", ch, ch, 3, 1, hw);
+    if (stride != 1 || in_ch != ch) {
+      add_conv(net, base + ".b0.proj", in_ch, ch, 1, stride, hw * stride);
+    }
+    add_conv(net, base + ".b1.conv1", ch, ch, 3, 1, hw);
+    add_conv(net, base + ".b1.conv2", ch, ch, 3, 1, hw);
+    in_ch = ch;
+  }
+  add_fc(net, "fc", 512, 1000);
+  return net;
+}
+
+NetworkModel yolo_darknet19_model() {
+  NetworkModel net;
+  net.name = "YOLO (DarkNet-19)";
+  net.input_size = 416;
+  int hw = 416;
+  add_conv(net, "conv1", 3, 32, 3, 1, hw);
+  add_pool(net, "pool1", 32, hw);
+  hw /= 2;  // 208
+  add_conv(net, "conv2", 32, 64, 3, 1, hw);
+  add_pool(net, "pool2", 64, hw);
+  hw /= 2;  // 104
+  add_conv(net, "conv3", 64, 128, 3, 1, hw);
+  add_conv(net, "conv4", 128, 64, 1, 1, hw);
+  add_conv(net, "conv5", 64, 128, 3, 1, hw);
+  add_pool(net, "pool3", 128, hw);
+  hw /= 2;  // 52
+  add_conv(net, "conv6", 128, 256, 3, 1, hw);
+  add_conv(net, "conv7", 256, 128, 1, 1, hw);
+  add_conv(net, "conv8", 128, 256, 3, 1, hw);
+  add_pool(net, "pool4", 256, hw);
+  hw /= 2;  // 26
+  add_conv(net, "conv9", 256, 512, 3, 1, hw);
+  add_conv(net, "conv10", 512, 256, 1, 1, hw);
+  add_conv(net, "conv11", 256, 512, 3, 1, hw);
+  add_conv(net, "conv12", 512, 256, 1, 1, hw);
+  add_conv(net, "conv13", 256, 512, 3, 1, hw);
+  add_pool(net, "pool5", 512, hw);
+  hw /= 2;  // 13
+  add_conv(net, "conv14", 512, 1024, 3, 1, hw);
+  add_conv(net, "conv15", 1024, 512, 1, 1, hw);
+  add_conv(net, "conv16", 512, 1024, 3, 1, hw);
+  add_conv(net, "conv17", 1024, 512, 1, 1, hw);
+  add_conv(net, "conv18", 512, 1024, 3, 1, hw);
+  // Detection head (YOLOv2): two 3x3x1024 convs, the passthrough
+  // projection, the post-concat 3x3 conv and the pointwise prediction.
+  add_conv(net, "det1", 1024, 1024, 3, 1, hw);
+  add_conv(net, "det2", 1024, 1024, 3, 1, hw);
+  add_conv(net, "passthrough", 512, 64, 1, 1, 26);
+  add_conv(net, "det3", 1024 + 256, 1024, 3, 1, hw);
+  add_conv(net, "pred", 1024, 125, 1, 1, hw);  // 5 anchors x (5+20)
+  return net;
+}
+
+NetworkModel tiny_yolo_model() {
+  NetworkModel net;
+  net.name = "Tiny-YOLO";
+  net.input_size = 416;
+  int hw = 416;
+  const int chs[6] = {16, 32, 64, 128, 256, 512};
+  int in_ch = 3;
+  for (int i = 0; i < 6; ++i) {
+    add_conv(net, "conv" + std::to_string(i + 1), in_ch, chs[i], 3, 1, hw);
+    add_pool(net, "pool" + std::to_string(i + 1), chs[i], hw);
+    hw /= 2;
+    in_ch = chs[i];
+  }
+  // 416 / 2^6 = 6.5 -> the real net uses stride-1 pool on the last stage;
+  // keep 13x13 by undoing the final halving.
+  hw = 13;
+  add_conv(net, "conv7", 512, 1024, 3, 1, hw);
+  add_conv(net, "conv8", 1024, 512, 3, 1, hw);
+  add_conv(net, "pred", 512, 125, 1, 1, hw);
+  return net;
+}
+
+std::vector<NetworkModel> paper_model_suite() {
+  return {vgg8_model(), resnet18_model(), tiny_yolo_model(),
+          yolo_darknet19_model()};
+}
+
+void assign_backbone_to_rom(NetworkModel& net, int sram_tail_layers) {
+  // Count weight layers; the last `sram_tail_layers` of them stay SRAM.
+  int weight_layers = 0;
+  for (const auto& l : net.layers) {
+    if (l.weight_count() > 0) ++weight_layers;
+  }
+  int index = 0;
+  for (auto& l : net.layers) {
+    if (l.weight_count() <= 0) continue;
+    l.residency = (index < weight_layers - sram_tail_layers) ? Residency::kRom
+                                                             : Residency::kSram;
+    ++index;
+  }
+}
+
+NetworkModel apply_rebranch(const NetworkModel& net, int d, int u) {
+  YOLOC_CHECK(d >= 1 && u >= 1, "rebranch: ratios >= 1");
+  NetworkModel out;
+  out.name = net.name + "+ReBranch(D=" + std::to_string(d) +
+             ",U=" + std::to_string(u) + ")";
+  out.input_size = net.input_size;
+  for (const auto& l : net.layers) {
+    out.layers.push_back(l);
+    const bool is_rom_conv = l.kind == NetLayerKind::kConv &&
+                             l.residency == Residency::kRom;
+    if (!is_rom_conv) continue;
+    const int cin = std::max(1, l.in_ch / d);
+    const int cout = std::max(1, l.out_ch / u);
+    // Branch layers operate on the same input feature map as the trunk.
+    NetLayer comp = l;
+    comp.name = l.name + ".rescomp";
+    comp.kind = NetLayerKind::kConv;
+    comp.out_ch = cin;
+    comp.kernel = 1;
+    comp.stride = 1;
+    comp.residency = Residency::kRom;
+    out.layers.push_back(comp);
+
+    NetLayer resconv = l;
+    resconv.name = l.name + ".resconv";
+    resconv.in_ch = cin;
+    resconv.out_ch = cout;
+    resconv.residency = Residency::kSram;  // the trainable part
+    out.layers.push_back(resconv);
+
+    NetLayer decomp = l;
+    decomp.name = l.name + ".resdecomp";
+    decomp.in_ch = cout;
+    decomp.out_ch = l.out_ch;
+    decomp.kernel = 1;
+    decomp.stride = 1;
+    decomp.in_h = l.out_h();
+    decomp.in_w = l.out_w();
+    decomp.residency = Residency::kRom;
+    out.layers.push_back(decomp);
+  }
+  return out;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,88 @@
+#pragma once
+// Full-size network layer tables for the paper's four models.
+//
+// These drive every area/energy/latency result (Table I system level,
+// Figs. 12-14). They are *analytic* descriptions — layer geometries and
+// weight counts — not trainable graphs; the trainable -lite counterparts
+// live in nn/zoo.hpp. Weight counts land near the paper's quoted sizes
+// (Tiny-YOLO 11.3M, YOLO ~46M; Sec. 1).
+
+#include <string>
+#include <vector>
+
+namespace yoloc {
+
+enum class NetLayerKind { kConv, kFc, kPool };
+
+/// Where a layer's weights live after deployment.
+enum class Residency { kRom, kSram };
+
+struct NetLayer {
+  std::string name;
+  NetLayerKind kind = NetLayerKind::kConv;
+  int in_ch = 0;
+  int out_ch = 0;
+  int kernel = 1;
+  int stride = 1;
+  int in_h = 0;
+  int in_w = 0;
+  Residency residency = Residency::kSram;
+
+  [[nodiscard]] int out_h() const {
+    return kind == NetLayerKind::kPool ? in_h / stride
+                                       : (in_h + stride - 1) / stride;
+  }
+  [[nodiscard]] int out_w() const {
+    return kind == NetLayerKind::kPool ? in_w / stride
+                                       : (in_w + stride - 1) / stride;
+  }
+  [[nodiscard]] double weight_count() const;
+  [[nodiscard]] double macs() const;
+  [[nodiscard]] double input_bytes(int act_bits = 8) const;
+  [[nodiscard]] double output_bytes(int act_bits = 8) const;
+};
+
+struct NetworkModel {
+  std::string name;
+  int input_size = 32;
+  std::vector<NetLayer> layers;
+
+  [[nodiscard]] double total_weights() const;
+  [[nodiscard]] double total_macs() const;
+  [[nodiscard]] double weight_bits(int weight_bits_per = 8) const;
+  [[nodiscard]] double weights_with_residency(Residency r) const;
+  /// Largest intermediate feature map in bytes (buffer sizing).
+  [[nodiscard]] double peak_activation_bytes(int act_bits = 8) const;
+};
+
+/// Helper used by the model builders: append a conv layer and return the
+/// output extent for chaining.
+void add_conv(NetworkModel& net, const std::string& name, int in_ch,
+              int out_ch, int kernel, int stride, int hw);
+
+/// VGG-8 on 32x32 inputs (6 conv + 2 FC, ~5.5M weights).
+NetworkModel vgg8_model();
+/// ResNet-18, CIFAR-style 32x32 stem (~11.2M weights).
+NetworkModel resnet18_model();
+/// YOLO with DarkNet-19 backbone on 416x416 (YOLOv2-class, ~46M weights
+/// counting the detection head — the paper's "YOLO, 46M").
+NetworkModel yolo_darknet19_model();
+/// Tiny-YOLO on 416x416 (~11.3M weights).
+NetworkModel tiny_yolo_model();
+
+/// All four, in Fig. 14c order (VGG-8, ResNet-18, Tiny-YOLO, YOLO).
+std::vector<NetworkModel> paper_model_suite();
+
+/// Mark backbone layers (all but the last `sram_tail_layers` weight
+/// layers) ROM-resident; the tail (prediction head) stays SRAM.
+void assign_backbone_to_rom(NetworkModel& net, int sram_tail_layers = 1);
+
+/// ReBranch deployment transform (paper Fig. 7): every ROM-resident conv
+/// of kernel >= 1 with enough channels gains
+///   res-compress  (pointwise, in -> in/d, ROM)
+///   res-conv      (kxk, in/d -> out/u, SRAM, trainable)
+///   res-decompress(pointwise, out/u -> out, ROM)
+/// in parallel with the trunk. Returns the transformed copy.
+NetworkModel apply_rebranch(const NetworkModel& net, int d, int u);
+
+}  // namespace yoloc

@@ -1,0 +1,407 @@
+#include "arch/system_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace yoloc {
+
+std::string deployment_name(Deployment d) {
+  switch (d) {
+    case Deployment::kYoloc:
+      return "YOLoC (ROM-CiM + SRAM-CiM)";
+    case Deployment::kSramSingleChip:
+      return "SRAM-CiM single chip";
+    case Deployment::kSramChiplet:
+      return "SRAM-CiM chiplets";
+  }
+  return "?";
+}
+
+SystemConfig::SystemConfig()
+    : rom_macro(default_rom_macro()), sram_macro(default_sram_macro()) {
+  cache.capacity_kb = 128.0;
+}
+
+double SystemReport::tops_per_watt() const {
+  return yoloc::tops_per_watt(2.0 * macs, energy.total_pj());
+}
+
+double SystemReport::gops() const {
+  return yoloc::gops(2.0 * macs, latency.total_ns());
+}
+
+SystemSimulator::SystemSimulator(SystemConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache),
+      dram_(cfg_.dram),
+      link_(cfg_.link),
+      noc_(cfg_.noc) {}
+
+SystemSimulator::LayerCost SystemSimulator::layer_cost(
+    const NetLayer& layer, const MacroConfig& macro) const {
+  LayerCost cost;
+  if (layer.weight_count() <= 0.0) return cost;
+  const MacroGeometry& g = macro.geometry;
+
+  const int m = layer.out_ch;
+  const int k = layer.kind == NetLayerKind::kFc
+                    ? layer.in_ch
+                    : layer.in_ch * layer.kernel * layer.kernel;
+  const double vectors = layer.kind == NetLayerKind::kFc
+                             ? 1.0
+                             : static_cast<double>(layer.out_h()) *
+                                   layer.out_w();
+
+  // Row tiling: groups of rows_per_activation within each <=rows tile.
+  const int full_tiles = k / g.rows;
+  const int rem = k % g.rows;
+  const double groups_per_output =
+      static_cast<double>(full_tiles) * (g.rows / g.rows_per_activation) +
+      (rem > 0 ? std::ceil(static_cast<double>(rem) / g.rows_per_activation)
+               : 0.0);
+  const double col_strips =
+      std::ceil(static_cast<double>(m) / g.weights_per_row());
+
+  cost.conversions = vectors * m * g.weight_bits * g.input_bits *
+                     groups_per_output;
+  // Wordline pulses: average input bit density 0.5; every column strip
+  // (distinct subarray) needs its own pulse train.
+  cost.wl_pulses = vectors * g.input_bits * k * 0.5 * col_strips;
+  cost.shift_adds = cost.conversions;
+
+  // Latency: all subarrays of one pixel-lane run in parallel; the
+  // busiest one serializes min(m, weights_per_row) outputs on its ADC
+  // bank. Idle subarray capacity is used to replicate weights and
+  // process up to `parallel_lanes` pixels concurrently.
+  const int m_busy = std::min(m, g.weights_per_row());
+  const double groups_busy =
+      std::ceil(static_cast<double>(std::min(k, g.rows)) /
+                g.rows_per_activation);
+  const double conv_per_vec =
+      static_cast<double>(m_busy) * g.weight_bits * g.input_bits * groups_busy;
+  const double lanes = std::max(1.0, std::min(cfg_.parallel_lanes, vectors));
+  cost.latency_ns = vectors / lanes *
+                    std::ceil(conv_per_vec / g.adc_per_subarray) *
+                    macro.adc.t_conv_ns;
+  return cost;
+}
+
+double SystemSimulator::tile_passes(const NetLayer& layer) const {
+  const double working_set =
+      layer.input_bytes(cfg_.act_bits) + layer.output_bytes(cfg_.act_bits);
+  return std::max(1.0, std::ceil(working_set / cache_.capacity_bytes()));
+}
+
+namespace {
+
+bool is_branch_layer(const NetLayer& l) {
+  return l.name.find(".rescomp") != std::string::npos ||
+         l.name.find(".resconv") != std::string::npos ||
+         l.name.find(".resdecomp") != std::string::npos;
+}
+
+}  // namespace
+
+void SystemSimulator::accumulate_compute(const NetworkModel& net,
+                                         const MacroConfig& macro,
+                                         const Residency* only,
+                                         double chip_area_mm2,
+                                         SystemReport& report) const {
+  // Pass 1: per-layer compute energy + buffer/NoC traffic.
+  for (const auto& layer : net.layers) {
+    if (layer.weight_count() <= 0.0) continue;
+    if (only != nullptr && layer.residency != *only) continue;
+    const LayerCost cost = layer_cost(layer, macro);
+
+    const double adc_pj = cost.conversions * macro.adc.energy_pj;
+    const double pre_pj =
+        cost.conversions *
+        BitlineModel(macro.bitline)
+            .precharge_energy_pj(0.25 * macro.geometry.rows_per_activation);
+    const double wl_pj = cost.wl_pulses * (macro.energy.wl_pulse_pj +
+                                           macro.energy.dac_driver_pj);
+    const double sa_pj = cost.shift_adds * macro.energy.shift_add_pj;
+    report.energy.cim_array_pj += pre_pj + wl_pj;
+    report.energy.cim_peripheral_pj += adc_pj + sa_pj;
+
+    const double traffic_bytes =
+        layer.input_bytes(cfg_.act_bits) + layer.output_bytes(cfg_.act_bits);
+    report.energy.buffer_pj += cache_.access_energy_pj(traffic_bytes);
+    report.energy.noc_pj +=
+        noc_.transfer_energy_pj(traffic_bytes, chip_area_mm2);
+  }
+
+  // Pass 2: latency with trunk/branch overlap. Branch triplets
+  // (rescomp -> resconv -> resdecomp) directly follow their trunk layer
+  // (apply_rebranch's layout) and execute concurrently with it.
+  std::size_t i = 0;
+  while (i < net.layers.size()) {
+    const NetLayer& layer = net.layers[i];
+    if (layer.weight_count() <= 0.0 ||
+        (only != nullptr && layer.residency != *only && !is_branch_layer(layer))) {
+      ++i;
+      continue;
+    }
+    if (is_branch_layer(layer)) {
+      // Handled together with the trunk below; skip if reached directly.
+      ++i;
+      continue;
+    }
+    // Trunk layer latency on its own macro kind.
+    double trunk_ns = layer_cost(layer, macro).latency_ns;
+    double chain_ns = 0.0;
+    double merge_ns = 0.0;
+    std::size_t j = i + 1;
+    bool has_branch = false;
+    while (j < net.layers.size() && is_branch_layer(net.layers[j])) {
+      has_branch = true;
+      const NetLayer& bl = net.layers[j];
+      const MacroConfig& bmacro =
+          bl.residency == Residency::kRom ? cfg_.rom_macro : cfg_.sram_macro;
+      // The compress -> res-conv -> decompress stages pipeline at pixel
+      // granularity, so the chain runs at the pace of its slowest stage.
+      chain_ns = std::max(chain_ns, layer_cost(bl, bmacro).latency_ns);
+      ++j;
+    }
+    if (has_branch) {
+      // Trunk and branch outputs merge through the cache before the next
+      // layer consumes them.
+      merge_ns = noc_.transfer_time_ns(layer.output_bytes(cfg_.act_bits));
+    }
+    report.latency.compute_ns += std::max(trunk_ns, chain_ns);
+    report.latency.merge_ns += merge_ns;
+    i = j;
+  }
+}
+
+double SystemSimulator::sram_chip_capacity_bits(double area_mm2) const {
+  const double fixed = cache_.area_mm2() + cfg_.controller_area_mm2;
+  const double macro_area = cfg_.sram_macro.area_mm2();
+  // Epsilon guards the round-trip with sram_chip_area_for_bits().
+  const double n = std::floor((area_mm2 - fixed) / macro_area + 1e-9);
+  return std::max(0.0, n) * cfg_.sram_macro.geometry.capacity_bits();
+}
+
+double SystemSimulator::sram_chip_area_for_bits(double bits) const {
+  const double n =
+      std::ceil(bits / cfg_.sram_macro.geometry.capacity_bits());
+  return n * cfg_.sram_macro.area_mm2() + cache_.area_mm2() +
+         cfg_.controller_area_mm2;
+}
+
+namespace {
+
+/// Compose the Fig. 14(b)-style area report from macro instances.
+AreaReport compose_area(const MacroConfig& rom, double n_rom,
+                        const MacroConfig& sram, double n_sram,
+                        double cache_mm2, double controller_mm2) {
+  AreaReport a;
+  const auto add_macros = [&a](const MacroConfig& m, double n) {
+    if (n <= 0.0) return;
+    const double area = m.area_mm2() * n;
+    const auto b = m.area_breakdown();
+    a.array_mm2 += b.array * area;
+    a.adc_mm2 += b.adc * area;
+    a.rw_mm2 += b.overhead * area;       // R/W interface, decode, IO
+    a.peripheral_mm2 += b.periphery * area;  // drivers + shift-add
+  };
+  add_macros(rom, n_rom);
+  add_macros(sram, n_sram);
+  a.buffer_mm2 = cache_mm2;
+  a.peripheral_mm2 += controller_mm2;
+  a.per_chip_mm2 = a.array_mm2 + a.adc_mm2 + a.rw_mm2 + a.peripheral_mm2 +
+                   a.buffer_mm2;
+  a.total_mm2 = a.per_chip_mm2;
+  return a;
+}
+
+}  // namespace
+
+SystemReport SystemSimulator::simulate_yoloc(const NetworkModel& net) const {
+  SystemReport report;
+  report.deployment = Deployment::kYoloc;
+  report.label = net.name + " / YOLoC";
+  report.macs = net.total_macs();
+
+  report.rom_bits_used =
+      net.weights_with_residency(Residency::kRom) * cfg_.weight_bits;
+  report.sram_cim_bits_used =
+      net.weights_with_residency(Residency::kSram) * cfg_.weight_bits;
+
+  const double n_rom = std::ceil(report.rom_bits_used /
+                                 cfg_.rom_macro.geometry.capacity_bits());
+  const double n_sram = std::max(
+      1.0, std::ceil(report.sram_cim_bits_used /
+                     cfg_.sram_macro.geometry.capacity_bits()));
+  report.sram_cim_bits_capacity =
+      n_sram * cfg_.sram_macro.geometry.capacity_bits();
+  report.area = compose_area(cfg_.rom_macro, n_rom, cfg_.sram_macro, n_sram,
+                             cache_.area_mm2(), cfg_.controller_area_mm2);
+
+  const Residency rom = Residency::kRom;
+  const Residency sram = Residency::kSram;
+  accumulate_compute(net, cfg_.rom_macro, &rom, report.area.per_chip_mm2,
+                     report);
+  accumulate_compute(net, cfg_.sram_macro, &sram, report.area.per_chip_mm2,
+                     report);
+
+  // One-time SRAM-CiM weight load at power-on, amortized.
+  const double boot_bytes = report.sram_cim_bits_used / 8.0;
+  const double boot_pj = dram_.stream_energy_pj(boot_bytes) +
+                         report.sram_cim_bits_used *
+                             cfg_.sram_macro.write_energy_pj_per_bit;
+  report.energy.dram_pj += boot_pj / cfg_.inferences_per_boot;
+  report.dram_bytes_per_inference = boot_bytes / cfg_.inferences_per_boot;
+
+  // Controller + cache leakage over the inference.
+  report.energy.cim_peripheral_pj +=
+      cfg_.controller_energy_frac *
+      (report.energy.cim_array_pj + report.energy.cim_peripheral_pj);
+  // uW * ns = fJ = 1e-3 pJ.
+  report.energy.buffer_pj +=
+      cache_.leakage_uw() * report.latency.total_ns() * 1e-3;
+  return report;
+}
+
+SystemReport SystemSimulator::simulate_sram_single_chip(
+    const NetworkModel& net, double area_budget_mm2) const {
+  SystemReport report;
+  report.deployment = Deployment::kSramSingleChip;
+  report.label = net.name + " / SRAM-CiM single chip";
+  report.macs = net.total_macs();
+
+  const double capacity = sram_chip_capacity_bits(area_budget_mm2);
+  report.sram_cim_bits_capacity = capacity;
+  const double weight_bits_total = net.weight_bits(cfg_.weight_bits);
+  report.sram_cim_bits_used = std::min(weight_bits_total, capacity);
+  const double overflow_bits =
+      std::max(0.0, weight_bits_total - capacity);
+
+  const double n_sram = std::max(
+      1.0, std::floor((area_budget_mm2 - cache_.area_mm2() -
+                       cfg_.controller_area_mm2) /
+                      cfg_.sram_macro.area_mm2()));
+  report.area = compose_area(cfg_.sram_macro, 0.0, cfg_.sram_macro, n_sram,
+                             cache_.area_mm2(), cfg_.controller_area_mm2);
+
+  accumulate_compute(net, cfg_.sram_macro, nullptr, report.area.per_chip_mm2,
+                     report);
+
+  // Per-inference weight streaming for the overflow, plus array rewrite.
+  // Overflow is spread uniformly over the layers; a layer whose working
+  // set exceeds the cache processes in tiles and re-fetches its streamed
+  // weights once per tile (the re-fetch amplification that makes the
+  // large-feature-map models DRAM-bound, Fig. 14c).
+  if (overflow_bits > 0.0) {
+    const double overflow_frac = overflow_bits / weight_bits_total;
+    double streamed_bits = 0.0;
+    for (const auto& layer : net.layers) {
+      const double lbits = layer.weight_count() * cfg_.weight_bits;
+      if (lbits <= 0.0) continue;
+      streamed_bits += overflow_frac * lbits * tile_passes(layer);
+    }
+    const double bytes = streamed_bits / 8.0;
+    report.dram_bytes_per_inference = bytes;
+    report.energy.dram_pj += dram_.stream_energy_pj(bytes);
+    report.energy.weight_write_pj +=
+        streamed_bits * cfg_.sram_macro.write_energy_pj_per_bit;
+    const double stream_ns =
+        dram_.stream_time_ns(bytes) +
+        streamed_bits / cfg_.sram_macro.write_bandwidth_bits_per_ns;
+    report.latency.dram_ns += (1.0 - cfg_.dram_compute_overlap) * stream_ns;
+  }
+
+  // One-time load of the resident weights, amortized.
+  const double boot_bytes = report.sram_cim_bits_used / 8.0;
+  report.energy.dram_pj +=
+      (dram_.stream_energy_pj(boot_bytes) +
+       report.sram_cim_bits_used * cfg_.sram_macro.write_energy_pj_per_bit) /
+      cfg_.inferences_per_boot;
+
+  report.energy.cim_peripheral_pj +=
+      cfg_.controller_energy_frac *
+      (report.energy.cim_array_pj + report.energy.cim_peripheral_pj);
+  report.energy.buffer_pj +=
+      cache_.leakage_uw() * report.latency.total_ns() * 1e-3;
+  return report;
+}
+
+SystemReport SystemSimulator::simulate_sram_chiplets(
+    const NetworkModel& net, double chip_area_mm2) const {
+  SystemReport report;
+  report.deployment = Deployment::kSramChiplet;
+  report.label = net.name + " / SRAM-CiM chiplets";
+  report.macs = net.total_macs();
+
+  const double per_chip_bits = sram_chip_capacity_bits(chip_area_mm2);
+  YOLOC_CHECK(per_chip_bits > 0.0, "chiplet: chip too small for any macro");
+  const double weight_bits_total = net.weight_bits(cfg_.weight_bits);
+  const int chips = static_cast<int>(
+      std::max(1.0, std::ceil(weight_bits_total / per_chip_bits)));
+  report.sram_cim_bits_capacity = per_chip_bits * chips;
+  report.sram_cim_bits_used = weight_bits_total;
+
+  const double n_sram_per_chip = std::max(
+      1.0, std::floor((chip_area_mm2 - cache_.area_mm2() -
+                       cfg_.controller_area_mm2) /
+                      cfg_.sram_macro.area_mm2()));
+  report.area = compose_area(cfg_.sram_macro, 0.0, cfg_.sram_macro,
+                             n_sram_per_chip * chips, cache_.area_mm2() * chips,
+                             cfg_.controller_area_mm2 * chips);
+  report.area.chips = chips;
+  report.area.per_chip_mm2 = report.area.total_mm2 / chips;
+
+  accumulate_compute(net, cfg_.sram_macro, nullptr, report.area.per_chip_mm2,
+                     report);
+
+  // Inter-chip transfers: walk layers, cut when cumulative weights exceed
+  // a chip; the feature map at each cut crosses the link.
+  double acc_bits = 0.0;
+  for (const auto& layer : net.layers) {
+    const double lbits = layer.weight_count() * cfg_.weight_bits;
+    if (lbits <= 0.0) continue;
+    if (acc_bits + lbits > per_chip_bits && acc_bits > 0.0) {
+      const double fmap = layer.input_bytes(cfg_.act_bits);
+      report.energy.interchip_pj += link_.transfer_energy_pj(fmap);
+      report.latency.interchip_ns += link_.transfer_time_ns(fmap);
+      acc_bits = 0.0;
+    }
+    acc_bits += lbits;
+  }
+
+  // One-time load of all weights across chips, amortized.
+  const double boot_bytes = weight_bits_total / 8.0;
+  report.energy.dram_pj +=
+      (dram_.stream_energy_pj(boot_bytes) +
+       weight_bits_total * cfg_.sram_macro.write_energy_pj_per_bit) /
+      cfg_.inferences_per_boot;
+
+  report.energy.cim_peripheral_pj +=
+      cfg_.controller_energy_frac *
+      (report.energy.cim_array_pj + report.energy.cim_peripheral_pj);
+  report.energy.buffer_pj += chips * cache_.leakage_uw() *
+                             report.latency.total_ns() * 1e-3;
+  return report;
+}
+
+IsoAreaComparison compare_iso_area(const SystemSimulator& sim,
+                                   const NetworkModel& base_net, int d, int u,
+                                   int sram_tail_layers,
+                                   double area_budget_mm2) {
+  NetworkModel rom_net = base_net;
+  assign_backbone_to_rom(rom_net, sram_tail_layers);
+  const NetworkModel deployed = apply_rebranch(rom_net, d, u);
+
+  IsoAreaComparison cmp;
+  cmp.yoloc = sim.simulate_yoloc(deployed);
+  const double budget =
+      area_budget_mm2 > 0.0 ? area_budget_mm2 : cmp.yoloc.area.total_mm2;
+  cmp.sram_single = sim.simulate_sram_single_chip(base_net, budget);
+  cmp.sram_chiplets = sim.simulate_sram_chiplets(base_net, budget);
+  return cmp;
+}
+
+}  // namespace yoloc

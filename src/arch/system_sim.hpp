@@ -1,0 +1,189 @@
+#pragma once
+// Chip-level simulator for the three system configurations of Fig. 13:
+//
+//   (a) YOLoC            - ROM-CiM backbone + SRAM-CiM ReBranch/head;
+//                          SRAM-CiM weights loaded from DRAM once at
+//                          power-on (amortized), no per-inference DRAM.
+//   (b) single-chip      - iso-area all-SRAM-CiM chip; weights that do
+//       SRAM-CiM           not fit on chip stream from DRAM every
+//                          inference (weight overflow streaming).
+//   (c) SRAM-CiM         - enough SRAM-CiM chips to hold all weights; no
+//       chiplets           DRAM, but feature maps cross SIMBA-class links
+//                          at chip boundaries.
+//
+// Per layer the simulator derives conversion/pulse/accumulation counts
+// from the macro geometry (same accounting as the functional CimMacro),
+// energy from the calibrated circuit constants, buffer/NoC traffic from
+// feature-map sizes, and latency from ADC-bank serialization with
+// branch/trunk overlap. Area comes from discrete macro instances plus
+// cache and controller.
+
+#include <string>
+
+#include "arch/network_model.hpp"
+#include "macro/macro_config.hpp"
+#include "mapping/weight_mapper.hpp"
+#include "memsys/chiplet_link.hpp"
+#include "memsys/dram.hpp"
+#include "memsys/noc.hpp"
+#include "memsys/sram_buffer.hpp"
+
+namespace yoloc {
+
+enum class Deployment { kYoloc, kSramSingleChip, kSramChiplet };
+
+std::string deployment_name(Deployment d);
+
+struct SystemConfig {
+  MacroConfig rom_macro;
+  MacroConfig sram_macro;
+  SramBufferParams cache;
+  DramParams dram;
+  ChipletLinkParams link;
+  NocParams noc;
+  MappingStrategy mapping = MappingStrategy::kPacked;
+  int act_bits = 8;
+  int weight_bits = 8;
+  double controller_area_mm2 = 0.5;
+  /// Digital scheduling/control energy as a fraction of compute energy.
+  double controller_energy_frac = 0.05;
+  /// Inferences between power cycles; the one-time SRAM-CiM weight load
+  /// is amortized over this count.
+  double inferences_per_boot = 1e4;
+  /// Fraction of DRAM streaming time hidden under compute (ping-pong).
+  double dram_compute_overlap = 0.5;
+  /// Concurrent subarray lanes per layer (weight replication across the
+  /// chip's idle subarrays; paper Sec. 3.1: "multiple subarrays in the
+  /// chip could be activated simultaneously").
+  double parallel_lanes = 64.0;
+
+  SystemConfig();
+};
+
+struct EnergyBreakdown {
+  double cim_array_pj = 0.0;       // precharge + wordline (analog array)
+  double cim_peripheral_pj = 0.0;  // ADC + shift-add + control
+  double buffer_pj = 0.0;          // cache reads/writes + leakage
+  double noc_pj = 0.0;
+  double dram_pj = 0.0;            // weight streaming (+ amortized boot)
+  double weight_write_pj = 0.0;    // SRAM-CiM array rewrite
+  double interchip_pj = 0.0;
+
+  [[nodiscard]] double total_pj() const {
+    return cim_array_pj + cim_peripheral_pj + buffer_pj + noc_pj + dram_pj +
+           weight_write_pj + interchip_pj;
+  }
+};
+
+struct LatencyBreakdown {
+  double compute_ns = 0.0;
+  double merge_ns = 0.0;     // trunk+branch feature-map merge
+  double dram_ns = 0.0;      // non-hidden DRAM streaming
+  double interchip_ns = 0.0;
+
+  [[nodiscard]] double total_ns() const {
+    return compute_ns + merge_ns + dram_ns + interchip_ns;
+  }
+};
+
+/// Fig. 14(b)-style area composition; one chip unless chips > 1.
+struct AreaReport {
+  int chips = 1;
+  double per_chip_mm2 = 0.0;
+  double total_mm2 = 0.0;
+  double array_mm2 = 0.0;      // ROM + SRAM CiM cells
+  double adc_mm2 = 0.0;
+  double rw_mm2 = 0.0;         // drivers + macro overhead (R/W interface)
+  double peripheral_mm2 = 0.0; // shift-add + controller
+  double buffer_mm2 = 0.0;     // activation cache
+};
+
+struct SystemReport {
+  std::string label;
+  Deployment deployment = Deployment::kYoloc;
+  double macs = 0.0;  // per inference (of the deployed graph)
+  EnergyBreakdown energy;
+  LatencyBreakdown latency;
+  AreaReport area;
+  double rom_bits_used = 0.0;
+  double sram_cim_bits_used = 0.0;
+  double sram_cim_bits_capacity = 0.0;
+  double dram_bytes_per_inference = 0.0;
+
+  [[nodiscard]] double energy_uj() const { return energy.total_pj() * 1e-6; }
+  [[nodiscard]] double tops_per_watt() const;
+  [[nodiscard]] double gops() const;
+};
+
+class SystemSimulator {
+ public:
+  explicit SystemSimulator(SystemConfig cfg);
+
+  /// YOLoC chip sized to hold `net` (which should carry residency flags;
+  /// apply assign_backbone_to_rom + apply_rebranch first).
+  [[nodiscard]] SystemReport simulate_yoloc(const NetworkModel& net) const;
+
+  /// Iso-area all-SRAM-CiM single chip with the given silicon budget.
+  [[nodiscard]] SystemReport simulate_sram_single_chip(
+      const NetworkModel& net, double area_budget_mm2) const;
+
+  /// Multi-chip SRAM-CiM with per-chip area = chip_area_mm2; spawns as
+  /// many chiplets as needed to hold all weights on-die.
+  [[nodiscard]] SystemReport simulate_sram_chiplets(
+      const NetworkModel& net, double chip_area_mm2) const;
+
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+
+  /// SRAM-CiM weight capacity of a chip with `area_mm2` silicon after
+  /// cache + controller are placed.
+  [[nodiscard]] double sram_chip_capacity_bits(double area_mm2) const;
+
+  /// Silicon needed by an all-SRAM-CiM chip to hold `bits` of weights —
+  /// the iso-area anchor of Fig. 14 is the chip that fits the smallest
+  /// model (VGG-8) entirely.
+  [[nodiscard]] double sram_chip_area_for_bits(double bits) const;
+
+  /// Activation-tiling weight re-fetch factor: when a layer's working
+  /// set exceeds the on-chip cache, its streamed weights are re-fetched
+  /// once per activation tile.
+  [[nodiscard]] double tile_passes(const NetLayer& layer) const;
+
+ private:
+  struct LayerCost {
+    double conversions = 0.0;
+    double wl_pulses = 0.0;
+    double shift_adds = 0.0;
+    double latency_ns = 0.0;  // per layer, all subarrays in parallel
+  };
+  /// Conversion/pulse accounting for one layer on one macro kind.
+  [[nodiscard]] LayerCost layer_cost(const NetLayer& layer,
+                                     const MacroConfig& macro) const;
+  /// Adds compute + buffer + noc for every layer with the given
+  /// residency filter into the report (nullptr filter = all layers).
+  void accumulate_compute(const NetworkModel& net, const MacroConfig& macro,
+                          const Residency* only, double chip_area_mm2,
+                          SystemReport& report) const;
+
+  SystemConfig cfg_;
+  SramBuffer cache_;
+  Dram dram_;
+  ChipletLink link_;
+  Noc noc_;
+};
+
+/// End-to-end Fig. 14 comparison helper: deploys `net` as YOLoC (with
+/// ReBranch d=u), then simulates the SRAM single chip and the chiplet
+/// configuration against `area_budget_mm2` of silicon per chip. A
+/// negative budget uses the YOLoC chip's own area; Fig. 14 anchors the
+/// budget at the chip that fits VGG-8 (see sram_chip_area_for_bits).
+struct IsoAreaComparison {
+  SystemReport yoloc;
+  SystemReport sram_single;
+  SystemReport sram_chiplets;
+};
+IsoAreaComparison compare_iso_area(const SystemSimulator& sim,
+                                   const NetworkModel& base_net, int d = 4,
+                                   int u = 4, int sram_tail_layers = 1,
+                                   double area_budget_mm2 = -1.0);
+
+}  // namespace yoloc

@@ -1,0 +1,41 @@
+#include "arch/tech_scaling.hpp"
+
+#include "macro/macro_config.hpp"
+
+namespace yoloc {
+
+std::vector<TechNode> tech_scaling_table() {
+  // {node, 6T cell um^2, cost multiplier}; density computed below.
+  struct Raw {
+    int node;
+    double cell_um2;
+    double cost;
+  };
+  static constexpr Raw kRaw[] = {
+      {130, 2.430, 1.0},   {90, 1.000, 1.6},   {65, 0.525, 2.6},
+      {45, 0.346, 4.2},    {40, 0.299, 5.0},   {28, 0.127, 8.5},
+      {20, 0.081, 16.0},   {16, 0.070, 28.0},  {10, 0.042, 60.0},
+      {7, 0.027, 130.0},
+  };
+  // Anchor: the paper's 28 nm SRAM-CiM macro density, scaled by bitcell
+  // area (compute periphery is pitch-matched, so it scales along).
+  constexpr double kSramCimDensity28 = 0.26;  // Mb/mm^2
+  constexpr double kCell28 = 0.127;           // um^2
+  std::vector<TechNode> table;
+  table.reserve(std::size(kRaw));
+  for (const auto& r : kRaw) {
+    TechNode n;
+    n.node_nm = r.node;
+    n.sram_cell_um2 = r.cell_um2;
+    n.sram_density_mb_per_mm2 = kSramCimDensity28 * kCell28 / r.cell_um2;
+    n.tapeout_cost_norm = r.cost;
+    table.push_back(n);
+  }
+  return table;
+}
+
+double rom_cim_density_at_28nm() {
+  return default_rom_macro().density_mb_per_mm2();
+}
+
+}  // namespace yoloc

@@ -1,0 +1,33 @@
+#pragma once
+// Technology-scaling table behind Fig. 1(a): CiM-capable SRAM macro
+// density and normalized tape-out (mask-set) cost across process nodes,
+// plus the ROM-CiM density point this work adds at 28 nm.
+//
+// The density series is what the figure actually argues about: the
+// storage density achievable by a *computing* SRAM macro (cells + ADCs +
+// compute periphery), anchored at the paper's 0.26 Mb/mm^2 for 28 nm and
+// scaled by the published 6T bitcell area of each node. On this axis the
+// 28 nm ROM-CiM point (5 Mb/mm^2) beats SRAM-CiM even at 7 nm, which is
+// the paper's headline. Tape-out cost is normalized to the 130 nm mask
+// set. Both series only need to be correct in *shape*.
+
+#include <vector>
+
+namespace yoloc {
+
+struct TechNode {
+  int node_nm = 0;
+  double sram_cell_um2 = 0.0;  // published 6T bitcell area
+  /// CiM-capable SRAM macro density at this node (see file comment).
+  double sram_density_mb_per_mm2 = 0.0;
+  double tapeout_cost_norm = 0.0;  // relative to 130nm
+};
+
+/// The node table used by Fig. 1(a), 130 nm down to 7 nm.
+std::vector<TechNode> tech_scaling_table();
+
+/// The ROM-CiM density achieved at 28 nm by this work (from the macro
+/// model), for overlay on the same axes.
+double rom_cim_density_at_28nm();
+
+}  // namespace yoloc

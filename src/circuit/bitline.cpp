@@ -1,0 +1,37 @@
+#include "circuit/bitline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+BitlineModel::BitlineModel(const BitlineParams& params) : params_(params) {
+  YOLOC_CHECK(params.c_bl_ff > 0.0, "bitline: capacitance must be positive");
+  YOLOC_CHECK(params.v_precharge > params.v_floor,
+              "bitline: precharge must exceed floor");
+  YOLOC_CHECK(params.i_cell_ua > 0.0 && params.t_pulse_ns > 0.0,
+              "bitline: cell current and pulse width must be positive");
+  // dV = I * t / C. Units: uA * ns / fF = 1e-6 * 1e-9 / 1e-15 = V.
+  delta_v_ = params.i_cell_ua * params.t_pulse_ns / params.c_bl_ff;
+}
+
+double BitlineModel::voltage_for_count(double effective_count) const {
+  const double v = params_.v_precharge - effective_count * delta_v_;
+  return std::max(v, params_.v_floor);
+}
+
+int BitlineModel::max_resolvable_count() const {
+  return static_cast<int>(
+      std::floor((params_.v_precharge - params_.v_floor) / delta_v_));
+}
+
+double BitlineModel::precharge_energy_pj(double count) const {
+  const double dv =
+      std::min(count * delta_v_, params_.v_precharge - params_.v_floor);
+  // fF * V * V = fJ; convert to pJ.
+  return params_.c_bl_ff * params_.v_precharge * dv * 1e-3;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,58 @@
+#pragma once
+// Analytical bitline charge-sharing model.
+//
+// SPICE-substitution layer (see DESIGN.md): the paper extracts macro
+// behaviour from 28nm parasitic extraction + SPICE. The behaviour that
+// matters to everything downstream is the transfer function
+//
+//   number of ON cells -> bitline voltage -> ADC code
+//
+// including its error sources. This model captures it analytically: each
+// ON cell sinks a nominally identical charge packet I_cell * t_pulse from
+// the precharged bitline capacitance C_bl, so the bitline voltage falls
+// linearly with the ON-cell count until it saturates at the discharge
+// floor. Cell-to-cell current mismatch is modeled as i.i.d. Gaussian
+// relative variation (sigma_cell), which is the dominant analog error in
+// charge-domain CiM; ROM cells (single fixed transistor, no storage-node
+// fight) get a smaller sigma than 6T SRAM compute cells.
+
+#include <cstdint>
+
+namespace yoloc {
+
+struct BitlineParams {
+  double c_bl_ff = 100.0;       // bitline capacitance [fF]
+  double v_precharge = 0.9;     // precharge voltage [V]
+  double v_floor = 0.0;         // discharge floor [V]
+  double i_cell_ua = 2.0;       // per-cell discharge current [uA]
+  double t_pulse_ns = 0.35;     // wordline pulse width [ns]
+  /// Relative per-cell current mismatch (1 sigma). ROM ~2%, SRAM ~5%.
+  double sigma_cell = 0.02;
+};
+
+class BitlineModel {
+ public:
+  explicit BitlineModel(const BitlineParams& params);
+
+  /// Voltage drop contributed by a single ON cell [V].
+  [[nodiscard]] double delta_v_per_cell() const { return delta_v_; }
+
+  /// Bitline voltage after discharge by `effective_count` ON cells
+  /// (fractional counts model analog mismatch). Clamps at v_floor.
+  [[nodiscard]] double voltage_for_count(double effective_count) const;
+
+  /// Largest count distinguishable before the bitline saturates.
+  [[nodiscard]] int max_resolvable_count() const;
+
+  /// Energy to restore the bitline after a discharge of `count` cells
+  /// [pJ]: E = C_bl * V_pre * dV (charge drawn from the precharge rail).
+  [[nodiscard]] double precharge_energy_pj(double count) const;
+
+  [[nodiscard]] const BitlineParams& params() const { return params_; }
+
+ private:
+  BitlineParams params_;
+  double delta_v_;  // I * t / C [V]
+};
+
+}  // namespace yoloc

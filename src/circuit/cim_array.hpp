@@ -1,0 +1,83 @@
+#pragma once
+// Column read model: ties cell mismatch, bitline discharge and ADC
+// quantization into a single "analog count readout" primitive, plus the
+// per-event energy accounting the macro layer aggregates.
+//
+// The macro performs, per (row-group, input-bit, weight-bit-column):
+//   exact_count  = number of cells with (input bit == 1 && weight bit == 1)
+//   effective    = exact_count + N(0, sigma_cell * sqrt(exact_count))
+//                  (sum of i.i.d. per-cell current mismatch)
+//   v_bl         = bitline.voltage_for_count(effective)
+//   code         = adc.quantize(v_bl)
+//   estimate     = code scaled back to counts
+// The estimate is exact when the row-group size matches the ADC level
+// count and sigma is ~0; widening the group beyond the ADC range (the
+// paper's aggressive 128-rows-per-activation mode) trades accuracy for
+// fewer conversions — an ablation benchmark sweeps exactly this.
+
+#include "circuit/adc.hpp"
+#include "circuit/bitline.hpp"
+#include "common/rng.hpp"
+
+namespace yoloc {
+
+/// Per-event digital/driver energies accompanying each analog read.
+struct ArrayEnergyParams {
+  double wl_pulse_pj = 0.0006;   // one wordline pulse on one row
+  double shift_add_pj = 0.012;   // one digital shift-add accumulation
+  double dac_driver_pj = 0.001;  // input-bit driver, per row per cycle
+};
+
+/// Accumulated activity counters for one or more array operations.
+struct ArrayReadStats {
+  std::uint64_t adc_conversions = 0;
+  std::uint64_t wl_pulses = 0;
+  std::uint64_t shift_adds = 0;
+  double adc_energy_pj = 0.0;
+  double precharge_energy_pj = 0.0;
+  double wl_energy_pj = 0.0;
+  double shift_add_energy_pj = 0.0;
+
+  [[nodiscard]] double total_energy_pj() const {
+    return adc_energy_pj + precharge_energy_pj + wl_energy_pj +
+           shift_add_energy_pj;
+  }
+  void accumulate(const ArrayReadStats& other);
+};
+
+class CimArrayModel {
+ public:
+  /// `group_size` is the number of simultaneously activated rows; the ADC
+  /// full-scale is matched to that discharge range.
+  CimArrayModel(const BitlineParams& bitline, AdcParams adc,
+                const ArrayEnergyParams& energy, int group_size);
+
+  /// One column read: digitize `exact_count` ON cells out of
+  /// `active_rows` pulsed rows. Returns the count estimate; accumulates
+  /// conversion + precharge energy into `stats`.
+  [[nodiscard]] double read_count(int exact_count, int active_rows, Rng& rng,
+                                  ArrayReadStats& stats) const;
+
+  /// Ideal (noise-free, but still ADC-quantized) variant.
+  [[nodiscard]] double read_count_ideal(int exact_count,
+                                        ArrayReadStats& stats) const;
+
+  /// Charge the wordline-driver energy for `pulses` input pulses.
+  void charge_wl_pulses(std::uint64_t pulses, ArrayReadStats& stats) const;
+  /// Charge digital accumulation energy for `ops` shift-adds.
+  void charge_shift_adds(std::uint64_t ops, ArrayReadStats& stats) const;
+
+  [[nodiscard]] int group_size() const { return group_size_; }
+  [[nodiscard]] double counts_per_code() const { return counts_per_code_; }
+  [[nodiscard]] const Adc& adc() const { return adc_; }
+  [[nodiscard]] const BitlineModel& bitline() const { return bitline_; }
+
+ private:
+  BitlineModel bitline_;
+  Adc adc_;
+  ArrayEnergyParams energy_;
+  int group_size_;
+  double counts_per_code_;
+};
+
+}  // namespace yoloc

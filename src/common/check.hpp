@@ -1,0 +1,31 @@
+#pragma once
+// Lightweight runtime-check macros used across the library.
+//
+// YOLOC_CHECK(cond, msg)  - throws std::runtime_error when cond is false.
+//   Used for API-contract violations (bad shapes, out-of-range configs).
+//   Simulators prefer fail-fast over silently producing wrong physics.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace yoloc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "YOLOC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " - " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace yoloc
+
+#define YOLOC_CHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::yoloc::check_failed(#cond, __FILE__, __LINE__, (msg));          \
+    }                                                                   \
+  } while (false)
+
+#define YOLOC_CHECK_OK(cond) YOLOC_CHECK(cond, std::string{})

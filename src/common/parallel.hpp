@@ -1,0 +1,22 @@
+#pragma once
+// Minimal data-parallel helper for CPU-bound tensor kernels.
+//
+// parallel_for(n, fn) splits [0, n) into contiguous chunks across a small
+// thread pool. The convolution forward/backward kernels parallelize over
+// the batch (or output-channel) dimension with it. Falls back to serial
+// execution for small n, where thread spawn cost dominates.
+
+#include <cstddef>
+#include <functional>
+
+namespace yoloc {
+
+/// Number of worker threads used by parallel_for (hardware_concurrency,
+/// clamped to [1, 16]).
+std::size_t parallel_workers();
+
+/// Invoke fn(i) for every i in [0, n), potentially concurrently.
+/// fn must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace yoloc

@@ -1,0 +1,32 @@
+#pragma once
+// ASCII table renderer used by the benchmark harnesses to print the
+// rows/series of each paper table & figure in a uniform way.
+
+#include <string>
+#include <vector>
+
+namespace yoloc {
+
+/// Column-aligned text table. Rows may be added as pre-formatted strings
+/// or as doubles (formatted with per-table precision).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: first cell is a label, the rest are numbers.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  [[nodiscard]] std::string to_string() const;
+  /// Renders to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,47 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace yoloc {
+
+double tops_per_watt(double ops, double energy_pj) {
+  if (energy_pj <= 0.0) return 0.0;
+  // ops / (energy_pj * 1e-12 J) = ops/J * 1e12; TOPS/W = (ops/s)/(J/s)/1e12
+  // which collapses to ops per picojoule.
+  return ops / energy_pj;
+}
+
+double gops(double ops, double time_ns) {
+  if (time_ns <= 0.0) return 0.0;
+  return ops / time_ns;  // ops per ns == Gops per s
+}
+
+double mb_per_mm2(double bits, double area_mm2) {
+  if (area_mm2 <= 0.0) return 0.0;
+  return (bits / kBitsPerMb) / area_mm2;
+}
+
+std::string format_si(double value, int precision) {
+  static constexpr std::array<const char*, 7> kSuffix = {"", "k", "M", "G",
+                                                         "T", "P", "E"};
+  double v = std::fabs(value);
+  std::size_t idx = 0;
+  while (v >= 1000.0 && idx + 1 < kSuffix.size()) {
+    v /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f %s", precision,
+                value < 0 ? -v : v, kSuffix[idx]);
+  return buf;
+}
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,39 @@
+#pragma once
+// Unit conventions and pretty-printing for physical quantities.
+//
+// The simulator stores every physical quantity as a double with the unit
+// encoded in the *name* (suffix convention), keeping hot arithmetic free
+// of wrapper overhead while keeping intent explicit at every interface:
+//
+//   _pj   picojoules            _ns   nanoseconds
+//   _um2  square micrometers    _mm2  square millimeters
+//   _bits / _bytes              _mb   megabits (10^6 bits, memory-macro
+//                                     convention used by the paper)
+//
+// Derived figure-of-merit helpers (TOPS/W, GOPS, Mb/mm^2) live here so
+// every module computes them identically.
+
+#include <string>
+
+namespace yoloc {
+
+constexpr double kUm2PerMm2 = 1.0e6;
+constexpr double kBitsPerMb = 1.0e6;   // memory-macro megabit
+constexpr double kBitsPerKb = 1.0e3;
+
+/// ops (1 MAC = 2 ops) and picojoules -> TOPS/W. TOPS/W == ops/pJ.
+double tops_per_watt(double ops, double energy_pj);
+
+/// ops and nanoseconds -> GOPS. GOPS == ops/ns.
+double gops(double ops, double time_ns);
+
+/// bits and mm^2 -> Mb/mm^2.
+double mb_per_mm2(double bits, double area_mm2);
+
+/// Human-readable SI formatting, e.g. 1.25e9 -> "1.25 G".
+std::string format_si(double value, int precision = 3);
+
+/// Fixed-precision number formatting (printf "%.*f").
+std::string format_fixed(double value, int precision = 2);
+
+}  // namespace yoloc

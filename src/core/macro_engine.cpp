@@ -1,0 +1,57 @@
+#include "core/macro_engine.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+MacroMvmEngine::MacroMvmEngine(const CimMacro& macro, Mode mode,
+                               std::uint64_t seed)
+    : macro_(&macro), mode_(mode), rng_(seed) {}
+
+std::string MacroMvmEngine::name() const {
+  return mode_ == Mode::kAnalog ? "macro-analog" : "macro-exact-cost";
+}
+
+void MacroMvmEngine::mvm_batch(const std::int8_t* w, int m, int k,
+                               const std::uint8_t* x, int p, std::int32_t* y) {
+  YOLOC_CHECK(m > 0 && k > 0 && p > 0, "macro engine: bad MVM shape");
+  const int rows = macro_->config().geometry.rows;
+
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m) * p; ++i) y[i] = 0;
+
+  std::vector<std::int8_t> w_chunk;
+  std::vector<std::uint8_t> x_chunk(static_cast<std::size_t>(rows));
+  std::vector<std::int32_t> y_partial(static_cast<std::size_t>(m));
+
+  // Tile the reduction dimension over subarray row capacity; partial sums
+  // accumulate digitally (the shift-add backend).
+  for (int k0 = 0; k0 < k; k0 += rows) {
+    const int k_size = std::min(rows, k - k0);
+    w_chunk.resize(static_cast<std::size_t>(m) * k_size);
+    for (int j = 0; j < m; ++j) {
+      const std::int8_t* src = w + static_cast<std::size_t>(j) * k + k0;
+      std::copy(src, src + k_size,
+                w_chunk.begin() + static_cast<std::size_t>(j) * k_size);
+    }
+    for (int col = 0; col < p; ++col) {
+      for (int i = 0; i < k_size; ++i) {
+        x_chunk[static_cast<std::size_t>(i)] =
+            x[static_cast<std::size_t>(k0 + i) * p + col];
+      }
+      if (mode_ == Mode::kAnalog) {
+        macro_->mvm(w_chunk.data(), m, k_size, x_chunk.data(),
+                    y_partial.data(), rng_, stats_);
+      } else {
+        macro_->mvm_exact_cost(w_chunk.data(), m, k_size, x_chunk.data(),
+                               y_partial.data(), stats_);
+      }
+      for (int j = 0; j < m; ++j) {
+        y[static_cast<std::size_t>(j) * p + col] += y_partial[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+
+}  // namespace yoloc

@@ -1,0 +1,42 @@
+#pragma once
+// MvmEngine backed by the CiM macro model: every integer MVM issued by a
+// quantized layer is tiled over macro subarrays and executed through the
+// analog bitline/ADC path (or the exact-cost path), accumulating
+// energy/latency statistics along the way.
+//
+// This is the piece that closes the loop between the NN substrate and the
+// circuit substrate: running a quantized network with this engine yields
+// simultaneously (a) task accuracy under analog non-idealities and
+// (b) measured compute energy per inference.
+
+#include <memory>
+
+#include "macro/cim_macro.hpp"
+#include "nn/quantize.hpp"
+
+namespace yoloc {
+
+class MacroMvmEngine final : public MvmEngine {
+ public:
+  enum class Mode {
+    kAnalog,     // bitline + ADC + mismatch noise (accuracy + cost)
+    kExactCost,  // bit-exact math, modeled cost (cost-only studies)
+  };
+
+  MacroMvmEngine(const CimMacro& macro, Mode mode, std::uint64_t seed);
+
+  void mvm_batch(const std::int8_t* w, int m, int k, const std::uint8_t* x,
+                 int p, std::int32_t* y) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const MacroRunStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MacroRunStats{}; }
+
+ private:
+  const CimMacro* macro_;
+  Mode mode_;
+  Rng rng_;
+  MacroRunStats stats_;
+};
+
+}  // namespace yoloc

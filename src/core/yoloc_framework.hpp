@@ -1,0 +1,71 @@
+#pragma once
+// Top-level YOLoC deployment API (paper Sec. 3.3, Fig. 9).
+//
+// Takes a float-trained network whose parameters carry residency flags
+// (set by apply_transfer_policy), lowers it onto the CiM datapath:
+//   1. BatchNorm folding,
+//   2. int8 quantization with per-layer engine selection — ROM-resident
+//      convolutions execute on the ROM-CiM macro model, SRAM-resident
+//      ones on the SRAM-CiM macro model,
+//   3. activation-range calibration,
+// and then serves inference through the analog functional path while
+// metering both macros' energy/latency.
+
+#include <memory>
+
+#include "core/macro_engine.hpp"
+#include "data/classification.hpp"
+#include "nn/container.hpp"
+
+namespace yoloc {
+
+struct FrameworkOptions {
+  MacroConfig rom_macro;
+  MacroConfig sram_macro;
+  int weight_bits = 8;
+  int act_bits = 8;
+  MacroMvmEngine::Mode mode = MacroMvmEngine::Mode::kAnalog;
+  std::uint64_t noise_seed = 2024;
+
+  FrameworkOptions();
+};
+
+class YolocFramework {
+ public:
+  /// Takes ownership of the trained model. Residency flags must already
+  /// be set; `calibration_images` drive activation-range calibration.
+  YolocFramework(LayerPtr trained_model, const Tensor& calibration_images,
+                 FrameworkOptions options);
+
+  /// Quantized inference through the macro models.
+  Tensor infer(const Tensor& images);
+
+  /// Top-1 accuracy of the deployed (quantized, analog) model.
+  double evaluate_accuracy(const LabeledDataset& dataset,
+                           int batch_size = 64);
+
+  /// Activity of the ROM / SRAM macros since the last reset.
+  [[nodiscard]] const MacroRunStats& rom_stats() const;
+  [[nodiscard]] const MacroRunStats& sram_stats() const;
+  void reset_stats();
+
+  /// Total modeled macro energy [pJ] since the last reset.
+  [[nodiscard]] double total_energy_pj() const;
+
+  [[nodiscard]] int quantized_layer_count() const { return quantized_layers_; }
+  [[nodiscard]] Layer& model() { return *model_; }
+
+ private:
+  /// Recursive conv/linear replacement with per-layer engine selection.
+  int lower_network(Layer& node);
+
+  FrameworkOptions options_;
+  CimMacro rom_macro_;
+  CimMacro sram_macro_;
+  std::unique_ptr<MacroMvmEngine> rom_engine_;
+  std::unique_ptr<MacroMvmEngine> sram_engine_;
+  LayerPtr model_;
+  int quantized_layers_ = 0;
+};
+
+}  // namespace yoloc

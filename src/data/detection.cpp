@@ -1,0 +1,180 @@
+#include "data/detection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+namespace {
+
+/// Pixel-coverage test for each shape, in object-local coords u,v in
+/// [-1,1] across the object's bounding box.
+bool shape_covers(ShapeClass cls, float u, float v) {
+  switch (cls) {
+    case ShapeClass::kDisk:
+      return u * u + v * v <= 1.0f;
+    case ShapeClass::kSquare:
+      return std::fabs(u) <= 0.9f && std::fabs(v) <= 0.9f;
+    case ShapeClass::kTallBox:
+      return std::fabs(u) <= 0.45f && std::fabs(v) <= 1.0f;
+    case ShapeClass::kTriangle:
+      // Upward triangle: v from -1 (top... image y grows downward) so use
+      // simple half-plane construction.
+      return v >= -1.0f && v <= 1.0f && std::fabs(u) <= (v + 1.0f) * 0.5f;
+  }
+  return false;
+}
+
+int sample_class(const std::vector<float>& weights, Rng& rng) {
+  float total = 0.0f;
+  for (float w : weights) total += w;
+  float x = static_cast<float>(rng.uniform()) * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0f) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace
+
+DetectionDataset generate_detection(const DetectionSpec& spec, int count,
+                                    Rng& rng) {
+  YOLOC_CHECK(count > 0, "detection: count must be positive");
+  YOLOC_CHECK(static_cast<int>(spec.class_weights.size()) ==
+                  kNumShapeClasses,
+              "detection: class weight count mismatch");
+  const int hw = spec.image_size;
+  DetectionDataset ds;
+  ds.images = Tensor({count, 3, hw, hw});
+  ds.boxes.resize(static_cast<std::size_t>(count));
+  const std::size_t plane = static_cast<std::size_t>(hw) * hw;
+
+  // Class colors are deterministic so the detector can learn them; the
+  // style's channel gains shift them between domains.
+  static constexpr float kClassColor[kNumShapeClasses][3] = {
+      {0.9f, 0.3f, 0.2f},   // disk
+      {0.2f, 0.8f, 0.3f},   // square
+      {0.3f, 0.4f, 0.9f},   // tall box
+      {0.95f, 0.85f, 0.2f}  // triangle
+  };
+
+  for (int n = 0; n < count; ++n) {
+    float* img = ds.images.data() + static_cast<std::size_t>(n) * 3 * plane;
+    // Background: dim clutter field + noise.
+    const float bg_fx = static_cast<float>(rng.uniform(0.3, 1.5));
+    const float bg_fy = static_cast<float>(rng.uniform(0.3, 1.5));
+    const float bg_phase = static_cast<float>(rng.uniform(0.0, 6.28));
+    for (int i = 0; i < hw; ++i) {
+      for (int j = 0; j < hw; ++j) {
+        const float y = 2.0f * i / (hw - 1) - 1.0f;
+        const float x = 2.0f * j / (hw - 1) - 1.0f;
+        const float cl = 0.15f + 0.1f * spec.style.clutter *
+                                     std::cos(3.14f * (bg_fx * x + bg_fy * y) +
+                                              bg_phase);
+        for (int c = 0; c < 3; ++c) {
+          img[static_cast<std::size_t>(c) * plane +
+              static_cast<std::size_t>(i) * hw + j] = cl;
+        }
+      }
+    }
+
+    const int num_objects = rng.uniform_int(1, spec.max_objects);
+    for (int o = 0; o < num_objects; ++o) {
+      const int cls = sample_class(spec.class_weights, rng);
+      const float size =
+          static_cast<float>(rng.uniform(spec.min_size, spec.max_size));
+      // Tall boxes are narrower than tall (aspect preserved by the cover
+      // function; bounding box is square except for tall boxes).
+      const float bw = cls == static_cast<int>(ShapeClass::kTallBox)
+                           ? size * 0.5f
+                           : size;
+      const float bh = size;
+      const float cx = static_cast<float>(
+          rng.uniform(bw / 2.0 + 0.02, 1.0 - bw / 2.0 - 0.02));
+      const float cy = static_cast<float>(
+          rng.uniform(bh / 2.0 + 0.02, 1.0 - bh / 2.0 - 0.02));
+
+      const float gain =
+          0.8f + 0.2f * static_cast<float>(rng.uniform());
+      for (int i = 0; i < hw; ++i) {
+        const float py = (static_cast<float>(i) + 0.5f) / hw;
+        const float v = 2.0f * (py - cy) / bh;
+        if (std::fabs(v) > 1.0f) continue;
+        for (int j = 0; j < hw; ++j) {
+          const float px = (static_cast<float>(j) + 0.5f) / hw;
+          const float u = 2.0f * (px - cx) / bw;
+          if (std::fabs(u) > 1.0f) continue;
+          if (!shape_covers(static_cast<ShapeClass>(cls), u, v)) continue;
+          for (int c = 0; c < 3; ++c) {
+            img[static_cast<std::size_t>(c) * plane +
+                static_cast<std::size_t>(i) * hw + j] =
+                gain * kClassColor[cls][c] *
+                spec.style.channel_gain[static_cast<std::size_t>(c)];
+          }
+        }
+      }
+
+      GtBox box;
+      box.cx = cx;
+      box.cy = cy;
+      box.w = bw;
+      box.h = bh;
+      box.cls = cls;
+      ds.boxes[static_cast<std::size_t>(n)].push_back(box);
+    }
+
+    // Pixel noise, clamped.
+    for (std::size_t k = 0; k < 3 * plane; ++k) {
+      img[k] = std::clamp(
+          img[k] + static_cast<float>(rng.normal(0.0, spec.style.noise_std)),
+          0.0f, 1.0f);
+    }
+  }
+  return ds;
+}
+
+DetectionSpec coco_like_spec(int image_size) {
+  DetectionSpec spec;
+  spec.name = "coco-like";
+  spec.image_size = image_size;
+  spec.style.noise_std = 0.05f;
+  spec.style.clutter = 0.3f;
+  return spec;
+}
+
+DetectionSpec pedestrian_like_spec(int image_size) {
+  DetectionSpec spec;
+  spec.name = "pedestrian-like";
+  spec.image_size = image_size;
+  spec.class_weights = {0.3f, 0.3f, 3.0f, 0.3f};  // tall boxes dominate
+  spec.style.noise_std = 0.08f;
+  spec.style.clutter = 0.6f;
+  spec.style.channel_gain = {0.85f, 0.85f, 0.95f};  // dim street scene
+  return spec;
+}
+
+DetectionSpec traffic_like_spec(int image_size) {
+  DetectionSpec spec;
+  spec.name = "traffic-like";
+  spec.image_size = image_size;
+  spec.class_weights = {2.0f, 0.4f, 0.4f, 2.0f};  // disks + triangles
+  spec.style.noise_std = 0.06f;
+  spec.style.clutter = 0.4f;
+  spec.style.channel_gain = {1.15f, 1.0f, 0.85f};  // saturated signage
+  return spec;
+}
+
+DetectionSpec voc_like_spec(int image_size) {
+  DetectionSpec spec;
+  spec.name = "voc-like";
+  spec.image_size = image_size;
+  spec.class_weights = {1.0f, 1.2f, 1.0f, 0.8f};
+  spec.style.noise_std = 0.07f;
+  spec.style.clutter = 0.45f;
+  spec.style.channel_gain = {1.05f, 0.9f, 1.0f};
+  return spec;
+}
+
+}  // namespace yoloc

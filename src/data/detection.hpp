@@ -1,0 +1,63 @@
+#pragma once
+// Synthetic object-detection scenes for the YOLoC detection experiments
+// (paper Fig. 12: PASCAL VOC mAP; COCO -> Pedestrian/Traffic/VOC
+// transfer).
+//
+// Scenes contain 1..max_objects geometric objects (the class set below)
+// over a cluttered background. The COCO-like source spec mixes all
+// classes uniformly; the transfer targets skew the class mix and restyle
+// the scenes (pedestrian-like scenes are dominated by tall boxes, traffic
+// scenes by disks/triangles), producing the domain shift the ReBranch
+// fine-tune has to absorb.
+
+#include <string>
+#include <vector>
+
+#include "data/patterns.hpp"
+#include "nn/loss.hpp"  // GtBox
+#include "tensor/tensor.hpp"
+
+namespace yoloc {
+
+/// Object classes available to scene generation.
+enum class ShapeClass : int {
+  kDisk = 0,
+  kSquare = 1,
+  kTallBox = 2,   // "pedestrian"-shaped
+  kTriangle = 3,  // "traffic-sign"-shaped
+};
+constexpr int kNumShapeClasses = 4;
+
+struct DetectionSpec {
+  std::string name;
+  int image_size = 48;
+  int max_objects = 3;
+  float min_size = 0.2f;  // object extent as fraction of image
+  float max_size = 0.45f;
+  /// Relative sampling weight per class (size kNumShapeClasses).
+  std::vector<float> class_weights{1.0f, 1.0f, 1.0f, 1.0f};
+  DomainStyle style;
+};
+
+struct DetectionDataset {
+  Tensor images;  // (N, 3, H, W)
+  std::vector<std::vector<GtBox>> boxes;
+  int num_classes = kNumShapeClasses;
+  [[nodiscard]] int size() const {
+    return images.empty() ? 0 : images.shape()[0];
+  }
+};
+
+DetectionDataset generate_detection(const DetectionSpec& spec, int count,
+                                    Rng& rng);
+
+/// Source suite ("COCO-like"): uniform class mix, neutral style.
+DetectionSpec coco_like_spec(int image_size);
+/// Target: mostly tall boxes, dim/cluttered street-like style.
+DetectionSpec pedestrian_like_spec(int image_size);
+/// Target: mostly disks and triangles, saturated style.
+DetectionSpec traffic_like_spec(int image_size);
+/// Target: balanced mix with a style shift ("VOC-like").
+DetectionSpec voc_like_spec(int image_size);
+
+}  // namespace yoloc

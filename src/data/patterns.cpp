@@ -1,0 +1,101 @@
+#include "data/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace yoloc {
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+float gaussian_bump(float x, float y, float cx, float cy, float scale) {
+  const float dx = x - cx;
+  const float dy = y - cy;
+  const float s2 = std::max(scale * scale, 1e-4f);
+  return std::exp(-(dx * dx + dy * dy) / (0.5f * s2));
+}
+
+}  // namespace
+
+float pattern_intensity(const ClassRecipe& r, float x, float y) {
+  const float ca = std::cos(r.angle);
+  const float sa = std::sin(r.angle);
+  const float u = (x - r.cx) * ca + (y - r.cy) * sa;
+  const float v = -(x - r.cx) * sa + (y - r.cy) * ca;
+  switch (r.family) {
+    case PatternFamily::kGrating:
+      return 0.5f + 0.5f * std::sin(2.0f * kPi * r.freq * u);
+    case PatternFamily::kChecker: {
+      const float s = std::sin(2.0f * kPi * r.freq * u) *
+                      std::sin(2.0f * kPi * r.freq * v);
+      return s > 0.0f ? 1.0f : 0.0f;
+    }
+    case PatternFamily::kBlob:
+      return std::min(1.0f, gaussian_bump(x, y, r.cx, r.cy, r.scale) +
+                                0.6f * gaussian_bump(x, y, -r.cx, -r.cy,
+                                                     0.7f * r.scale));
+    case PatternFamily::kRings: {
+      const float rad = std::sqrt(u * u + v * v);
+      return 0.5f + 0.5f * std::cos(2.0f * kPi * r.freq * rad);
+    }
+    case PatternFamily::kCross: {
+      const float bar = 0.25f * r.scale;
+      const bool on = std::fabs(u) < bar || std::fabs(v) < bar;
+      return on ? 1.0f : 0.1f;
+    }
+    case PatternFamily::kStripes: {
+      const float s = std::sin(2.0f * kPi * r.freq * u);
+      return s > 0.0f ? 0.9f : 0.2f;
+    }
+  }
+  return 0.0f;
+}
+
+ClassRecipe jitter_recipe(const ClassRecipe& recipe, Rng& rng) {
+  ClassRecipe j = recipe;
+  const float amt = recipe.jitter;
+  j.angle += static_cast<float>(rng.normal(0.0, 0.25 * amt * kPi));
+  j.freq *= 1.0f + static_cast<float>(rng.normal(0.0, amt));
+  j.freq = std::max(0.25f, j.freq);
+  j.cx += static_cast<float>(rng.normal(0.0, 0.5 * amt));
+  j.cy += static_cast<float>(rng.normal(0.0, 0.5 * amt));
+  j.scale *= 1.0f + static_cast<float>(rng.normal(0.0, amt));
+  j.scale = std::clamp(j.scale, 0.05f, 1.5f);
+  return j;
+}
+
+void render_pattern(const ClassRecipe& recipe, const DomainStyle& style,
+                    int height, int width, Rng& rng, float* out) {
+  const ClassRecipe r = jitter_recipe(recipe, rng);
+
+  // Low-frequency clutter field: a random 2-D cosine.
+  const float clutter_fx = static_cast<float>(rng.uniform(0.3, 1.2));
+  const float clutter_fy = static_cast<float>(rng.uniform(0.3, 1.2));
+  const float clutter_phase = static_cast<float>(rng.uniform(0.0, 2.0 * kPi));
+
+  const std::size_t plane = static_cast<std::size_t>(height) * width;
+  for (int i = 0; i < height; ++i) {
+    const float y = 2.0f * static_cast<float>(i) / (height - 1) - 1.0f;
+    for (int j = 0; j < width; ++j) {
+      const float x = 2.0f * static_cast<float>(j) / (width - 1) - 1.0f;
+      float base = pattern_intensity(r, x, y);
+      if (style.clutter > 0.0f) {
+        const float cl =
+            0.5f + 0.5f * std::cos(kPi * (clutter_fx * x + clutter_fy * y) +
+                                   clutter_phase);
+        base = (1.0f - style.clutter) * base + style.clutter * cl;
+      }
+      base = style.contrast * base + style.brightness;
+      for (int c = 0; c < 3; ++c) {
+        float v = base * r.color[static_cast<std::size_t>(c)] *
+                  style.channel_gain[static_cast<std::size_t>(c)];
+        v += static_cast<float>(rng.normal(0.0, style.noise_std));
+        out[static_cast<std::size_t>(c) * plane +
+            static_cast<std::size_t>(i) * width + j] =
+            std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+}  // namespace yoloc

@@ -1,0 +1,61 @@
+#pragma once
+// Procedural image pattern primitives.
+//
+// Dataset substitution layer (see DESIGN.md): the paper's transfer
+// experiments run on CIFAR/MNIST/Caltech, which are unavailable offline.
+// What those experiments actually measure is how well a frozen feature
+// extractor carries over to a *shifted* input distribution, so the
+// synthetic families below are built around explicit, controllable shift
+// knobs: pattern parameters (angle/frequency/position), per-channel color
+// statistics, background clutter and pixel noise.
+
+#include <array>
+
+#include "common/rng.hpp"
+
+namespace yoloc {
+
+/// Texture families that class recipes draw from. Different families
+/// produce linearly inseparable classes that require conv features.
+enum class PatternFamily {
+  kGrating,   // oriented sinusoidal grating
+  kChecker,   // checkerboard
+  kBlob,      // Gaussian bump(s)
+  kRings,     // concentric rings
+  kCross,     // axis-aligned bright cross
+  kStripes,   // square-wave stripes
+};
+
+/// Generative parameters of one class.
+struct ClassRecipe {
+  PatternFamily family = PatternFamily::kGrating;
+  float angle = 0.0f;      // radians, orientation of the pattern
+  float freq = 2.0f;       // spatial frequency (cycles per image)
+  float cx = 0.0f;         // pattern center, [-1, 1]
+  float cy = 0.0f;
+  float scale = 0.5f;      // spatial extent, (0, 1]
+  float jitter = 0.15f;    // intra-class parameter jitter (fractional)
+  std::array<float, 3> color{1.0f, 1.0f, 1.0f};  // per-channel gain
+};
+
+/// Rendering style shared by a whole dataset — the *domain* knobs.
+struct DomainStyle {
+  float noise_std = 0.05f;        // i.i.d. pixel noise
+  float contrast = 1.0f;          // multiplicative on pattern intensity
+  float brightness = 0.0f;        // additive offset
+  std::array<float, 3> channel_gain{1.0f, 1.0f, 1.0f};
+  float clutter = 0.0f;           // low-frequency background field in [0,1]
+};
+
+/// Scalar pattern intensity in [0,1] at normalized coords (x,y) in [-1,1].
+float pattern_intensity(const ClassRecipe& recipe, float x, float y);
+
+/// Jittered copy of a recipe (per-sample intra-class variation).
+ClassRecipe jitter_recipe(const ClassRecipe& recipe, Rng& rng);
+
+/// Render one CHW image (channels = 3) into `out` (size 3*h*w, row-major
+/// per channel), applying the domain style.
+void render_pattern(const ClassRecipe& recipe, const DomainStyle& style,
+                    int height, int width, Rng& rng, float* out);
+
+}  // namespace yoloc

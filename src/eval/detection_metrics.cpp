@@ -1,0 +1,213 @@
+#include "eval/detection_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+
+namespace yoloc {
+
+float box_iou(float acx, float acy, float aw, float ah, float bcx, float bcy,
+              float bw, float bh) {
+  const float ax0 = acx - aw / 2, ax1 = acx + aw / 2;
+  const float ay0 = acy - ah / 2, ay1 = acy + ah / 2;
+  const float bx0 = bcx - bw / 2, bx1 = bcx + bw / 2;
+  const float by0 = bcy - bh / 2, by1 = bcy + bh / 2;
+  const float ix = std::max(0.0f, std::min(ax1, bx1) - std::max(ax0, bx0));
+  const float iy = std::max(0.0f, std::min(ay1, by1) - std::max(ay0, by0));
+  const float inter = ix * iy;
+  const float uni = aw * ah + bw * bh - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+float det_iou(const DetBox& a, const DetBox& b) {
+  return box_iou(a.cx, a.cy, a.w, a.h, b.cx, b.cy, b.w, b.h);
+}
+
+float det_gt_iou(const DetBox& a, const GtBox& b) {
+  return box_iou(a.cx, a.cy, a.w, a.h, b.cx, b.cy, b.w, b.h);
+}
+
+std::vector<DetBox> decode_grid(const Tensor& pred, int image_index,
+                                int classes, float obj_threshold) {
+  YOLOC_CHECK(pred.rank() == 4, "decode_grid: NCHW prediction required");
+  const int s = pred.shape()[2];
+  YOLOC_CHECK(pred.shape()[1] == 5 + classes,
+              "decode_grid: channel count mismatch");
+  std::vector<DetBox> out;
+  for (int gy = 0; gy < s; ++gy) {
+    for (int gx = 0; gx < s; ++gx) {
+      const float obj = sigmoidf(pred.at4(image_index, 4, gy, gx));
+      if (obj < obj_threshold) continue;
+      DetBox b;
+      b.cx = (static_cast<float>(gx) +
+              sigmoidf(pred.at4(image_index, 0, gy, gx))) /
+             static_cast<float>(s);
+      b.cy = (static_cast<float>(gy) +
+              sigmoidf(pred.at4(image_index, 1, gy, gx))) /
+             static_cast<float>(s);
+      b.w = sigmoidf(pred.at4(image_index, 2, gy, gx));
+      b.h = sigmoidf(pred.at4(image_index, 3, gy, gx));
+      // Class with max softmax score (softmax is monotone in logits, so
+      // argmax over logits suffices; score uses the softmax value).
+      int best = 0;
+      float best_logit = pred.at4(image_index, 5, gy, gx);
+      double denom = 0.0;
+      float mx = best_logit;
+      for (int c = 1; c < classes; ++c) {
+        const float l = pred.at4(image_index, 5 + c, gy, gx);
+        if (l > best_logit) {
+          best_logit = l;
+          best = c;
+        }
+        mx = std::max(mx, l);
+      }
+      for (int c = 0; c < classes; ++c) {
+        denom += std::exp(pred.at4(image_index, 5 + c, gy, gx) - mx);
+      }
+      b.cls = best;
+      b.score = obj * static_cast<float>(std::exp(best_logit - mx) / denom);
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::vector<DetBox> nms(std::vector<DetBox> boxes, float iou_threshold) {
+  std::sort(boxes.begin(), boxes.end(),
+            [](const DetBox& a, const DetBox& b) { return a.score > b.score; });
+  std::vector<DetBox> kept;
+  for (const auto& candidate : boxes) {
+    bool suppressed = false;
+    for (const auto& k : kept) {
+      if (k.cls == candidate.cls && det_iou(k, candidate) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+double average_precision(
+    const std::vector<std::vector<DetBox>>& detections,
+    const std::vector<std::vector<GtBox>>& ground_truth, int cls,
+    float iou_threshold) {
+  YOLOC_CHECK(detections.size() == ground_truth.size(),
+              "ap: image count mismatch");
+  // Flatten detections of this class with their image index.
+  struct Flat {
+    int image;
+    DetBox box;
+  };
+  std::vector<Flat> flat;
+  std::size_t total_gt = 0;
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    for (const auto& d : detections[i]) {
+      if (d.cls == cls) flat.push_back({static_cast<int>(i), d});
+    }
+    for (const auto& g : ground_truth[i]) {
+      if (g.cls == cls) ++total_gt;
+    }
+  }
+  if (total_gt == 0) return -1.0;  // class absent: caller skips
+  std::sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
+    return a.box.score > b.box.score;
+  });
+
+  std::vector<std::vector<bool>> matched(ground_truth.size());
+  for (std::size_t i = 0; i < ground_truth.size(); ++i) {
+    matched[i].assign(ground_truth[i].size(), false);
+  }
+
+  std::vector<int> tp(flat.size(), 0);
+  for (std::size_t di = 0; di < flat.size(); ++di) {
+    const auto& f = flat[di];
+    const auto& gts = ground_truth[static_cast<std::size_t>(f.image)];
+    float best_iou = 0.0f;
+    int best_gt = -1;
+    for (std::size_t gi = 0; gi < gts.size(); ++gi) {
+      if (gts[gi].cls != cls) continue;
+      if (matched[static_cast<std::size_t>(f.image)][gi]) continue;
+      const float iou = det_gt_iou(f.box, gts[gi]);
+      if (iou > best_iou) {
+        best_iou = iou;
+        best_gt = static_cast<int>(gi);
+      }
+    }
+    if (best_gt >= 0 && best_iou >= iou_threshold) {
+      tp[di] = 1;
+      matched[static_cast<std::size_t>(f.image)]
+             [static_cast<std::size_t>(best_gt)] = true;
+    }
+  }
+
+  // Precision-recall sweep + all-point interpolated AP.
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  int cum_tp = 0;
+  std::vector<double> precisions;
+  std::vector<double> recalls;
+  for (std::size_t di = 0; di < flat.size(); ++di) {
+    cum_tp += tp[di];
+    precisions.push_back(static_cast<double>(cum_tp) /
+                         static_cast<double>(di + 1));
+    recalls.push_back(static_cast<double>(cum_tp) /
+                      static_cast<double>(total_gt));
+  }
+  // Monotone-decreasing precision envelope.
+  for (int i = static_cast<int>(precisions.size()) - 2; i >= 0; --i) {
+    precisions[static_cast<std::size_t>(i)] =
+        std::max(precisions[static_cast<std::size_t>(i)],
+                 precisions[static_cast<std::size_t>(i) + 1]);
+  }
+  for (std::size_t i = 0; i < precisions.size(); ++i) {
+    ap += (recalls[i] - prev_recall) * precisions[i];
+    prev_recall = recalls[i];
+  }
+  return ap;
+}
+
+double mean_average_precision(
+    const std::vector<std::vector<DetBox>>& detections,
+    const std::vector<std::vector<GtBox>>& ground_truth, int num_classes,
+    float iou_threshold) {
+  double sum = 0.0;
+  int counted = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    const double ap =
+        average_precision(detections, ground_truth, c, iou_threshold);
+    if (ap >= 0.0) {
+      sum += ap;
+      ++counted;
+    }
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+double evaluate_detector_map(Layer& model, const DetectionDataset& dataset,
+                             float obj_threshold, float iou_threshold,
+                             int batch_size) {
+  const int n = dataset.size();
+  std::vector<std::vector<DetBox>> detections(static_cast<std::size_t>(n));
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    std::vector<int> idx(static_cast<std::size_t>(end - start));
+    std::iota(idx.begin(), idx.end(), start);
+    Tensor batch = gather_batch(dataset.images, idx);
+    Tensor pred = model.forward(batch, /*train=*/false);
+    for (int i = start; i < end; ++i) {
+      detections[static_cast<std::size_t>(i)] = nms(
+          decode_grid(pred, i - start, dataset.num_classes, obj_threshold),
+          iou_threshold);
+    }
+  }
+  return mean_average_precision(detections, dataset.boxes,
+                                dataset.num_classes, iou_threshold);
+}
+
+}  // namespace yoloc

@@ -1,0 +1,55 @@
+#pragma once
+// Detection evaluation: grid decoding, NMS and mean average precision
+// (PASCAL-VOC style), used by the Fig. 12 experiments.
+
+#include <vector>
+
+#include "data/detection.hpp"
+#include "nn/layer.hpp"
+
+namespace yoloc {
+
+/// A decoded detection in normalized image coordinates.
+struct DetBox {
+  float cx = 0.0f;
+  float cy = 0.0f;
+  float w = 0.0f;
+  float h = 0.0f;
+  int cls = 0;
+  float score = 0.0f;
+};
+
+/// Intersection-over-union of two center-format boxes.
+float box_iou(float acx, float acy, float aw, float ah, float bcx, float bcy,
+              float bw, float bh);
+float det_iou(const DetBox& a, const DetBox& b);
+float det_gt_iou(const DetBox& a, const GtBox& b);
+
+/// Decode one image's grid prediction (channels = 5 + classes over an
+/// SxS grid; see nn/loss.hpp for the channel layout). Detections below
+/// `obj_threshold` objectness are dropped.
+std::vector<DetBox> decode_grid(const Tensor& pred, int image_index,
+                                int classes, float obj_threshold = 0.3f);
+
+/// Greedy per-class non-maximum suppression.
+std::vector<DetBox> nms(std::vector<DetBox> boxes, float iou_threshold = 0.5f);
+
+/// Average precision for one class (all-point interpolation).
+double average_precision(
+    const std::vector<std::vector<DetBox>>& detections,
+    const std::vector<std::vector<GtBox>>& ground_truth, int cls,
+    float iou_threshold = 0.5f);
+
+/// Mean AP across classes. Classes with no ground-truth boxes are
+/// skipped.
+double mean_average_precision(
+    const std::vector<std::vector<DetBox>>& detections,
+    const std::vector<std::vector<GtBox>>& ground_truth, int num_classes,
+    float iou_threshold = 0.5f);
+
+/// End-to-end: run `model` over the dataset, decode + NMS, return mAP.
+double evaluate_detector_map(Layer& model, const DetectionDataset& dataset,
+                             float obj_threshold = 0.3f,
+                             float iou_threshold = 0.5f, int batch_size = 32);
+
+}  // namespace yoloc

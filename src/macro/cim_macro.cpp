@@ -1,0 +1,161 @@
+#include "macro/cim_macro.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+namespace {
+
+/// 128 rows fit two 64-bit lanes; mask type for row bitsets.
+struct RowMask {
+  std::uint64_t lane[2] = {0, 0};
+  void set(int i) { lane[i >> 6] |= (1ull << (i & 63)); }
+  [[nodiscard]] int count_and(const RowMask& other, int lo, int hi) const {
+    // Popcount of (this & other) over bit range [lo, hi).
+    int total = 0;
+    for (int l = 0; l < 2; ++l) {
+      const int base = l * 64;
+      const int a = std::max(lo - base, 0);
+      const int b = std::min(hi - base, 64);
+      if (a >= b) continue;
+      std::uint64_t m = lane[l] & other.lane[l];
+      if (a > 0) m &= ~0ull << a;
+      if (b < 64) m &= (b == 64) ? ~0ull : ((1ull << b) - 1);
+      total += std::popcount(m);
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+void MacroRunStats::accumulate(const MacroRunStats& other) {
+  array.accumulate(other.array);
+  macro_ops += other.macro_ops;
+  macs += other.macs;
+  latency_ns += other.latency_ns;
+}
+
+CimMacro::CimMacro(MacroConfig config)
+    : config_(std::move(config)),
+      array_(config_.bitline, config_.adc, config_.energy,
+             config_.geometry.rows_per_activation) {
+  YOLOC_CHECK(config_.geometry.rows <= 128,
+              "cim macro: row masks support up to 128 rows");
+  YOLOC_CHECK(config_.geometry.rows % config_.geometry.rows_per_activation ==
+                  0,
+              "cim macro: rows must divide evenly into activation groups");
+}
+
+double CimMacro::single_pass_latency_ns() const {
+  return config_.geometry.input_bits * config_.geometry.clock_ns;
+}
+
+void CimMacro::charge_op_costs(int m, int k, const std::uint8_t* x,
+                               MacroRunStats& stats) const {
+  const auto& g = config_.geometry;
+  const int groups = (k + g.rows_per_activation - 1) / g.rows_per_activation;
+
+  // Wordline pulses: one per active row per input cycle with bit set; the
+  // pulse is shared by every column of the subarray, so it is charged
+  // once per row-cycle (not per output).
+  std::uint64_t pulses = 0;
+  for (int t = 0; t < g.input_bits; ++t) {
+    for (int i = 0; i < k; ++i) {
+      if ((x[i] >> t) & 1u) ++pulses;
+    }
+  }
+  array_.charge_wl_pulses(pulses, stats.array);
+
+  // Shift-add: one digital accumulation per ADC conversion result.
+  const std::uint64_t conversions =
+      static_cast<std::uint64_t>(m) * g.weight_bits * g.input_bits * groups;
+  array_.charge_shift_adds(conversions, stats.array);
+
+  // Latency: conversions are served by the per-subarray ADC bank.
+  const double slots =
+      std::ceil(static_cast<double>(conversions) / g.adc_per_subarray);
+  stats.latency_ns += slots * config_.adc.t_conv_ns;
+  stats.macro_ops += 1;
+  stats.macs += static_cast<std::uint64_t>(m) * k;
+}
+
+void CimMacro::mvm(const std::int8_t* w, int m, int k, const std::uint8_t* x,
+                   std::int32_t* y, Rng& rng, MacroRunStats& stats) const {
+  const auto& g = config_.geometry;
+  YOLOC_CHECK(k >= 1 && k <= g.rows, "cim macro: k exceeds subarray rows");
+  YOLOC_CHECK(m >= 1, "cim macro: m >= 1");
+
+  // Input bit-planes.
+  RowMask xbits[8];
+  for (int t = 0; t < g.input_bits; ++t) {
+    for (int i = 0; i < k; ++i) {
+      if ((x[i] >> t) & 1u) xbits[t].set(i);
+    }
+  }
+
+  const int groups = (k + g.rows_per_activation - 1) / g.rows_per_activation;
+  for (int j = 0; j < m; ++j) {
+    // Weight bit-planes for output j: ROM columns store the raw
+    // two's-complement bit pattern.
+    RowMask wbits[8];
+    for (int i = 0; i < k; ++i) {
+      const std::uint8_t wv = static_cast<std::uint8_t>(
+          w[static_cast<std::size_t>(j) * k + i]);
+      for (int b = 0; b < g.weight_bits; ++b) {
+        if ((wv >> b) & 1u) wbits[b].set(i);
+      }
+    }
+
+    double acc = 0.0;
+    for (int b = 0; b < g.weight_bits; ++b) {
+      const double bit_weight =
+          (b == g.weight_bits - 1) ? -static_cast<double>(1 << b)
+                                   : static_cast<double>(1 << b);
+      for (int t = 0; t < g.input_bits; ++t) {
+        for (int grp = 0; grp < groups; ++grp) {
+          const int lo = grp * g.rows_per_activation;
+          const int hi = std::min(k, lo + g.rows_per_activation);
+          const int exact = wbits[b].count_and(xbits[t], lo, hi);
+          const double est =
+              array_.read_count(exact, hi - lo, rng, stats.array);
+          acc += est * bit_weight * static_cast<double>(1 << t);
+        }
+      }
+    }
+    y[j] = static_cast<std::int32_t>(std::llround(acc));
+  }
+  charge_op_costs(m, k, x, stats);
+}
+
+void CimMacro::mvm_exact_cost(const std::int8_t* w, int m, int k,
+                              const std::uint8_t* x, std::int32_t* y,
+                              MacroRunStats& stats) const {
+  const auto& g = config_.geometry;
+  YOLOC_CHECK(k >= 1 && k <= g.rows, "cim macro: k exceeds subarray rows");
+  for (int j = 0; j < m; ++j) {
+    std::int64_t acc = 0;
+    for (int i = 0; i < k; ++i) {
+      acc += static_cast<std::int64_t>(w[static_cast<std::size_t>(j) * k + i]) *
+             x[i];
+    }
+    y[j] = static_cast<std::int32_t>(acc);
+  }
+  // Pay the analog read energy at the average activity level without
+  // drawing noise samples (cost-only path).
+  const int groups = (k + g.rows_per_activation - 1) / g.rows_per_activation;
+  const std::uint64_t conversions =
+      static_cast<std::uint64_t>(m) * g.weight_bits * g.input_bits * groups;
+  stats.array.adc_conversions += conversions;
+  stats.array.adc_energy_pj +=
+      static_cast<double>(conversions) * config_.adc.energy_pj;
+  // Average discharge ~ quarter of the group (random data assumption).
+  stats.array.precharge_energy_pj +=
+      static_cast<double>(conversions) *
+      array_.bitline().precharge_energy_pj(0.25 * g.rows_per_activation);
+  charge_op_costs(m, k, x, stats);
+}
+
+}  // namespace yoloc

@@ -1,0 +1,69 @@
+#pragma once
+// Functional + cost model of one CiM macro executing integer MVMs.
+//
+// Computing discipline (paper Fig. 5):
+//   * A weight matrix chunk W (m outputs x k rows, int8) is bit-sliced:
+//     weight bit b of output j lives in column j*8+b of the subarray.
+//   * The activation vector x (k entries, uint8) is applied bit-serially:
+//     input cycle t pulses the wordlines of rows whose activation bit t
+//     is 1.
+//   * Rows are activated `rows_per_activation` at a time; each active
+//     group, input cycle and weight-bit column produces one ADC read of
+//     the ON-cell count (cells where weight bit AND input bit are 1).
+//   * The digital backend reconstructs y = W x via shift-and-add with
+//     two's-complement weighting (bit 7 contributes with factor -128).
+//
+// The same engine drives both macro kinds; the MacroConfig supplies the
+// analog parameters (ROM: low mismatch; SRAM: higher mismatch, heavier
+// wordlines) and the cost constants.
+
+#include <cstdint>
+#include <vector>
+
+#include "macro/macro_config.hpp"
+
+namespace yoloc {
+
+/// Activity + energy + latency of one or more macro operations.
+struct MacroRunStats {
+  ArrayReadStats array;
+  std::uint64_t macro_ops = 0;   // MVM tiles executed
+  std::uint64_t macs = 0;        // exact integer MACs represented
+  double latency_ns = 0.0;       // serialized conversion slots
+  [[nodiscard]] double energy_pj() const { return array.total_energy_pj(); }
+  void accumulate(const MacroRunStats& other);
+};
+
+class CimMacro {
+ public:
+  explicit CimMacro(MacroConfig config);
+
+  /// Analog-modeled MVM: y (int32, m entries) ~= W (m x k, int8) * x
+  /// (k entries, uint8). k must fit the subarray rows. Accumulates
+  /// activity into stats. Noise/quantization follow the circuit model.
+  void mvm(const std::int8_t* w, int m, int k, const std::uint8_t* x,
+           std::int32_t* y, Rng& rng, MacroRunStats& stats) const;
+
+  /// Bit-exact variant that still pays the modeled energy/latency —
+  /// used to isolate cost modeling from accuracy modeling.
+  void mvm_exact_cost(const std::int8_t* w, int m, int k,
+                      const std::uint8_t* x, std::int32_t* y,
+                      MacroRunStats& stats) const;
+
+  [[nodiscard]] const MacroConfig& config() const { return config_; }
+  [[nodiscard]] const CimArrayModel& array_model() const { return array_; }
+
+  /// Latency of a single full bit-serial pass (Table I "inference time"):
+  /// input_bits serial cycles at the macro clock.
+  [[nodiscard]] double single_pass_latency_ns() const;
+
+ private:
+  /// Shared bookkeeping for both mvm variants.
+  void charge_op_costs(int m, int k, const std::uint8_t* x,
+                       MacroRunStats& stats) const;
+
+  MacroConfig config_;
+  CimArrayModel array_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,97 @@
+#include "macro/macro_config.hpp"
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace yoloc {
+
+double MacroConfig::area_mm2() const {
+  const auto& g = geometry;
+  const double cells_um2 = g.capacity_bits() * area.cell_area_um2;
+  const double adc_um2 =
+      static_cast<double>(g.subarrays) * g.adc_per_subarray * area.adc_area_um2;
+  const double periph_um2 =
+      static_cast<double>(g.subarrays) *
+      (g.rows * area.driver_area_per_row_um2 + area.shift_add_area_um2);
+  return (cells_um2 + adc_um2 + periph_um2 + area.macro_overhead_um2) /
+         kUm2PerMm2;
+}
+
+double MacroConfig::density_mb_per_mm2() const {
+  return mb_per_mm2(geometry.capacity_bits(), area_mm2());
+}
+
+MacroConfig::AreaBreakdown MacroConfig::area_breakdown() const {
+  const auto& g = geometry;
+  const double total = area_mm2() * kUm2PerMm2;
+  AreaBreakdown b;
+  b.array = g.capacity_bits() * area.cell_area_um2 / total;
+  b.adc = static_cast<double>(g.subarrays) * g.adc_per_subarray *
+          area.adc_area_um2 / total;
+  b.periphery = static_cast<double>(g.subarrays) *
+                (g.rows * area.driver_area_per_row_um2 +
+                 area.shift_add_area_um2) /
+                total;
+  b.overhead = area.macro_overhead_um2 / total;
+  return b;
+}
+
+MacroConfig default_rom_macro() {
+  MacroConfig cfg;
+  cfg.kind = MacroKind::kRom;
+  // Geometry defaults already match the paper (128x256, 16 ADCs, 5b).
+  cfg.bitline.c_bl_ff = 100.0;
+  cfg.bitline.v_precharge = 0.9;
+  cfg.bitline.i_cell_ua = 2.0;
+  cfg.bitline.t_pulse_ns = 0.35;
+  cfg.bitline.sigma_cell = 0.02;  // fixed 1T cells: low mismatch
+  cfg.adc.bits = cfg.geometry.adc_bits;
+  cfg.adc.energy_pj = 0.070;
+  // Input-referred noise must stay well below 0.5 LSB (7 mV here) for a
+  // functional 5-bit converter; MSB-weighted reads amplify code flips by
+  // 2^14, so ~0.07 LSB is the operating point.
+  cfg.adc.noise_sigma_v = 0.0005;
+  cfg.adc.t_conv_ns = cfg.geometry.clock_ns;
+  cfg.energy.wl_pulse_pj = 0.0006;
+  cfg.energy.dac_driver_pj = 0.0010;
+  cfg.energy.shift_add_pj = 0.012;
+  cfg.area.cell_area_um2 = 0.014;
+  cfg.standby_power_uw = 0.0;  // non-volatile
+  return cfg;
+}
+
+MacroConfig default_sram_macro() {
+  MacroConfig cfg;
+  cfg.kind = MacroKind::kSram;
+  // 384 kb macro: 12 subarrays of 32 kb.
+  cfg.geometry.subarrays = 12;
+  cfg.bitline.c_bl_ff = 140.0;    // larger cells -> longer bitline
+  cfg.bitline.v_precharge = 0.9;
+  cfg.bitline.i_cell_ua = 2.0;
+  cfg.bitline.t_pulse_ns = 0.49;  // keep per-cell dV matched
+  cfg.bitline.sigma_cell = 0.05;  // 6T compute cells: higher mismatch
+  cfg.adc.bits = cfg.geometry.adc_bits;
+  cfg.adc.energy_pj = 0.078;
+  cfg.adc.noise_sigma_v = 0.0008;  // noisier supply on the R/W-shared rail
+  cfg.adc.t_conv_ns = cfg.geometry.clock_ns;
+  cfg.energy.wl_pulse_pj = 0.0011;  // heavier wordline load
+  cfg.energy.dac_driver_pj = 0.0010;
+  cfg.energy.shift_add_pj = 0.012;
+  cfg.area.cell_area_um2 = 0.259;  // [3]'s CiM cell (18.5x ROM)
+  // SRAM-CiM periphery is pitch-matched to the (4.3x wider) 6T compute
+  // cell and carries a full read/write interface: per-row drivers,
+  // per-column write circuitry and IO are an order of magnitude larger
+  // than the ROM macro's fixed-data periphery. Constants calibrated so
+  // the macro-level density lands at the paper's ~0.26 Mb/mm^2 (the
+  // "19x" gap quoted in Sec. 4.3.1).
+  cfg.area.adc_area_um2 = 2400.0;
+  cfg.area.shift_add_area_um2 = 3000.0;
+  cfg.area.driver_area_per_row_um2 = 60.0;
+  cfg.area.macro_overhead_um2 = 700000.0;
+  cfg.write_energy_pj_per_bit = 0.06;     // SRAM write + WL/BL switching
+  cfg.write_bandwidth_bits_per_ns = 256.0;  // 256-bit write port
+  cfg.standby_power_uw = 45.0;            // array leakage
+  return cfg;
+}
+
+}  // namespace yoloc

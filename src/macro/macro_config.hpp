@@ -1,0 +1,91 @@
+#pragma once
+// Macro-level configuration for the ROM-CiM macro (paper Sec. 3.1,
+// Table I) and the SRAM-CiM baseline macro (ISSCC'21 [3], as cited by the
+// paper).
+//
+// A macro is a set of identical subarrays (rows x cols cells each)
+// sharing input drivers, column ADCs and the digital shift-add. Weights
+// are bit-sliced: one 8-bit weight occupies `weight_bits` adjacent
+// columns of one row. Inputs arrive bit-serially over `input_bits`
+// cycles. Rows are activated in groups of `rows_per_activation`; the ADC
+// full-scale tracks the group discharge range (see circuit/cim_array.hpp
+// for the accuracy implications of large groups).
+
+#include "circuit/adc.hpp"
+#include "circuit/bitline.hpp"
+#include "circuit/cim_array.hpp"
+
+namespace yoloc {
+
+enum class MacroKind { kRom, kSram };
+
+struct MacroGeometry {
+  int rows = 128;
+  int cols = 256;
+  int subarrays = 36;        // 36 x 32 kb ~= 1.18 Mb (paper: "1.2 Mb")
+  int adc_per_subarray = 16; // column-sharing ADCs (16 columns per ADC)
+  int adc_bits = 5;
+  int weight_bits = 8;
+  int input_bits = 8;
+  int rows_per_activation = 32;
+  double clock_ns = 1.1125;  // 8 input cycles -> 8.9 ns (Table I)
+
+  [[nodiscard]] double subarray_bits() const {
+    return static_cast<double>(rows) * cols;
+  }
+  [[nodiscard]] double capacity_bits() const {
+    return subarray_bits() * subarrays;
+  }
+  /// Weights stored per subarray row (cols / weight_bits).
+  [[nodiscard]] int weights_per_row() const { return cols / weight_bits; }
+};
+
+struct MacroAreaParams {
+  double cell_area_um2 = 0.014;
+  /// Peripheral area per subarray [um^2]: ADCs, drivers, shift-add, IO.
+  double adc_area_um2 = 310.0;
+  double driver_area_per_row_um2 = 4.0;
+  double shift_add_area_um2 = 450.0;
+  /// Fixed macro-level overhead (controller, decoder, R/W IO) [um^2].
+  double macro_overhead_um2 = 16000.0;
+};
+
+struct MacroConfig {
+  MacroKind kind = MacroKind::kRom;
+  MacroGeometry geometry;
+  BitlineParams bitline;
+  AdcParams adc;
+  ArrayEnergyParams energy;
+  MacroAreaParams area;
+  /// SRAM-only: cost of reloading weights (ROM cannot be written).
+  double write_energy_pj_per_bit = 0.0;
+  double write_bandwidth_bits_per_ns = 0.0;
+  /// Leakage of the retained array [uW] (ROM: 0, non-volatile).
+  double standby_power_uw = 0.0;
+
+  [[nodiscard]] bool writable() const { return kind == MacroKind::kSram; }
+
+  /// Total macro area [mm^2] from the component model.
+  [[nodiscard]] double area_mm2() const;
+  /// Storage density [Mb/mm^2].
+  [[nodiscard]] double density_mb_per_mm2() const;
+  /// Area fractions {array, adc, driver+shiftadd, overhead} summing to 1.
+  struct AreaBreakdown {
+    double array = 0.0;
+    double adc = 0.0;
+    double periphery = 0.0;  // drivers + shift-add
+    double overhead = 0.0;   // controller / IO / decode
+  };
+  [[nodiscard]] AreaBreakdown area_breakdown() const;
+};
+
+/// ROM-CiM macro calibrated to Table I: 1.2 Mb, ~0.24 mm^2, 5 Mb/mm^2,
+/// 0.014 um^2/cell, 8b x 8b, 8.9 ns, 28.8 GOPS, ~11.5 TOPS/W.
+MacroConfig default_rom_macro();
+
+/// SRAM-CiM macro modeled after the cited ISSCC'21 baseline: 384 kb, 6T
+/// cells at 0.259 um^2 (18.5x the ROM cell), writable, with a heavier
+/// read/write interface and higher cell mismatch.
+MacroConfig default_sram_macro();
+
+}  // namespace yoloc

@@ -1,0 +1,25 @@
+#include "mapping/conv_mapping.hpp"
+
+namespace yoloc {
+
+MvmShape conv_to_mvm(int in_ch, int out_ch, int kernel, int out_h,
+                     int out_w) {
+  YOLOC_CHECK(in_ch > 0 && out_ch > 0 && kernel > 0 && out_h > 0 && out_w > 0,
+              "conv_to_mvm: bad geometry");
+  MvmShape s;
+  s.m = out_ch;
+  s.k = in_ch * kernel * kernel;
+  s.vectors = out_h * out_w;
+  return s;
+}
+
+MvmShape fc_to_mvm(int in_features, int out_features) {
+  YOLOC_CHECK(in_features > 0 && out_features > 0, "fc_to_mvm: bad geometry");
+  MvmShape s;
+  s.m = out_features;
+  s.k = in_features;
+  s.vectors = 1;
+  return s;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,33 @@
+#pragma once
+// Convolution -> matrix-vector-multiplication lowering.
+//
+// A conv layer (in_ch, out_ch, k, stride) over an HxW input becomes the
+// MVM  Y = W X  with W of shape (out_ch x in_ch*k*k) and one column of X
+// per output pixel. The CiM array stores W (rows = patch dimension,
+// columns = output channels x weight_bits) and the pixels stream through
+// as wordline vectors.
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+struct MvmShape {
+  int m = 0;         // outputs (weight-matrix rows)
+  int k = 0;         // reduction length (array rows)
+  int vectors = 0;   // input vectors per inference (output pixels)
+
+  [[nodiscard]] double weight_count() const {
+    return static_cast<double>(m) * k;
+  }
+  [[nodiscard]] double macs() const {
+    return static_cast<double>(m) * k * vectors;
+  }
+};
+
+/// Shape of the MVM a conv layer lowers to.
+MvmShape conv_to_mvm(int in_ch, int out_ch, int kernel, int out_h, int out_w);
+
+/// Fully-connected layers are 1-vector MVMs.
+MvmShape fc_to_mvm(int in_features, int out_features);
+
+}  // namespace yoloc

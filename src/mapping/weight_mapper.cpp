@@ -1,0 +1,89 @@
+#include "mapping/weight_mapper.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+WeightMapper::WeightMapper(const MacroGeometry& geometry)
+    : rows_(geometry.rows), weights_per_row_(geometry.weights_per_row()) {
+  YOLOC_CHECK(rows_ > 0 && weights_per_row_ > 0, "mapper: bad geometry");
+}
+
+MappingPlan WeightMapper::map(const std::vector<LayerMvm>& layers,
+                              MappingStrategy strategy) const {
+  MappingPlan plan;
+  plan.tiles_per_layer.assign(layers.size(), 0);
+
+  // Shelf state for packed mode: current subarray + column cursor.
+  int current_subarray = -1;
+  int col_cursor = 0;
+
+  double occupied_weights = 0.0;
+
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const LayerMvm& layer = layers[li];
+    const int row_tiles = (layer.shape.k + rows_ - 1) / rows_;
+    const int col_tiles_total =
+        (layer.shape.m + weights_per_row_ - 1) / weights_per_row_;
+    plan.tiles_per_layer[li] = row_tiles * col_tiles_total;
+
+    if (strategy == MappingStrategy::kDedicated || current_subarray < 0) {
+      // Fresh subarray for this layer (or very first allocation).
+      current_subarray = plan.subarrays_used;
+      col_cursor = 0;
+    }
+
+    int m_remaining = layer.shape.m;
+    while (m_remaining > 0) {
+      const int m_size = std::min(m_remaining, weights_per_row_ - col_cursor);
+      if (m_size <= 0) {
+        // Shelf full: open a new subarray.
+        current_subarray = plan.subarrays_used;
+        col_cursor = 0;
+        continue;
+      }
+      // All row tiles of this column strip stack vertically; a strip
+      // taller than one subarray spills into additional subarrays
+      // directly below (modeled as separate subarray indices).
+      int k_remaining = layer.shape.k;
+      int strip_subarray = current_subarray;
+      while (k_remaining > 0) {
+        const int k_size = std::min(k_remaining, rows_);
+        WeightTile tile;
+        tile.layer_id = layer.layer_id;
+        tile.subarray = strip_subarray;
+        tile.row_offset = 0;
+        tile.col_offset = col_cursor;
+        tile.k_size = k_size;
+        tile.m_size = m_size;
+        plan.tiles.push_back(tile);
+        occupied_weights += static_cast<double>(k_size) * m_size;
+        plan.subarrays_used = std::max(plan.subarrays_used, strip_subarray + 1);
+        k_remaining -= k_size;
+        if (k_remaining > 0) {
+          // Next row tile of the same strip: next subarray index.
+          ++strip_subarray;
+        }
+      }
+      col_cursor += m_size;
+      m_remaining -= m_size;
+      if (col_cursor >= weights_per_row_) {
+        current_subarray = plan.subarrays_used;
+        col_cursor = 0;
+      } else if (strategy == MappingStrategy::kDedicated && m_remaining == 0) {
+        // Dedicated: do not let the next layer reuse this shelf.
+        current_subarray = -1;
+      }
+    }
+    if (strategy == MappingStrategy::kDedicated) current_subarray = -1;
+  }
+
+  const double capacity =
+      static_cast<double>(plan.subarrays_used) * rows_ * weights_per_row_;
+  plan.utilization = capacity > 0.0 ? occupied_weights / capacity : 0.0;
+  return plan;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,67 @@
+#pragma once
+// Placement of layer weight matrices onto CiM subarrays.
+//
+// A subarray holds `rows` x `weights_per_row` weights (each weight is
+// weight_bits adjacent columns). Layer matrices are cut into tiles of at
+// most (rows x weights_per_row); the mapper places tiles either:
+//   * kDedicated - every layer starts on a fresh subarray (simple
+//     schedule, poor ADC/column utilization for narrow layers), or
+//   * kPacked    - tiles from different layers share subarray columns
+//     (the paper's optimization: "storing the weights of different
+//     layers to the same sub-array, so as to achieve high ADC
+//     utilization and thus reduced latency").
+//
+// Tiles never share columns *within* a row range they both occupy; the
+// shelf-packing model places tiles side by side along the column axis and
+// opens a new subarray when the shelf is full.
+
+#include <string>
+#include <vector>
+
+#include "macro/macro_config.hpp"
+#include "mapping/conv_mapping.hpp"
+
+namespace yoloc {
+
+enum class MappingStrategy { kDedicated, kPacked };
+
+struct LayerMvm {
+  int layer_id = 0;
+  std::string name;
+  MvmShape shape;
+};
+
+struct WeightTile {
+  int layer_id = 0;
+  int subarray = 0;     // global subarray index
+  int row_offset = 0;   // first row within the subarray
+  int col_offset = 0;   // first weight column within the subarray
+  int k_size = 0;       // rows occupied
+  int m_size = 0;       // weight columns occupied
+};
+
+struct MappingPlan {
+  std::vector<WeightTile> tiles;
+  int subarrays_used = 0;
+  /// Fraction of occupied subarray weight slots actually holding weights.
+  double utilization = 0.0;
+  /// Tiles per layer (row tiles x column tiles), for schedule building.
+  std::vector<int> tiles_per_layer;
+};
+
+class WeightMapper {
+ public:
+  explicit WeightMapper(const MacroGeometry& geometry);
+
+  [[nodiscard]] MappingPlan map(const std::vector<LayerMvm>& layers,
+                                MappingStrategy strategy) const;
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int weights_per_row() const { return weights_per_row_; }
+
+ private:
+  int rows_;
+  int weights_per_row_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,26 @@
+#include "memsys/chiplet_link.hpp"
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+ChipletLink::ChipletLink(const ChipletLinkParams& params) : params_(params) {
+  YOLOC_CHECK(params.energy_pj_per_bit > 0.0 && params.gbps_per_pin > 0.0 &&
+                  params.pins > 0,
+              "chiplet link: invalid parameters");
+}
+
+double ChipletLink::bandwidth_gb_per_s() const {
+  return params_.gbps_per_pin * params_.pins / 8.0;
+}
+
+double ChipletLink::transfer_energy_pj(double bytes) const {
+  return bytes * 8.0 * params_.energy_pj_per_bit;
+}
+
+double ChipletLink::transfer_time_ns(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  return params_.hop_latency_ns + bytes / bandwidth_gb_per_s();
+}
+
+}  // namespace yoloc

@@ -1,0 +1,29 @@
+#pragma once
+// Inter-chiplet serial link, parameterized after the SIMBA / GRS link the
+// paper cites [25]: 1.17 pJ/b at 25 Gb/s/pin, ground-referenced
+// single-ended signaling for on-package communication.
+
+namespace yoloc {
+
+struct ChipletLinkParams {
+  double energy_pj_per_bit = 1.17;
+  double gbps_per_pin = 25.0;
+  int pins = 32;
+  /// Per-hop packetization/serialization latency [ns].
+  double hop_latency_ns = 20.0;
+};
+
+class ChipletLink {
+ public:
+  explicit ChipletLink(const ChipletLinkParams& params);
+
+  [[nodiscard]] double transfer_energy_pj(double bytes) const;
+  [[nodiscard]] double transfer_time_ns(double bytes) const;
+  [[nodiscard]] double bandwidth_gb_per_s() const;
+  [[nodiscard]] const ChipletLinkParams& params() const { return params_; }
+
+ private:
+  ChipletLinkParams params_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,28 @@
+#include "memsys/dram.hpp"
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+Dram::Dram(const DramParams& params) : params_(params) {
+  YOLOC_CHECK(params.energy_pj_per_bit > 0.0, "dram: energy per bit > 0");
+  YOLOC_CHECK(params.bandwidth_gb_per_s > 0.0, "dram: bandwidth > 0");
+}
+
+double Dram::stream_time_ns(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  // GB/s == bytes/ns.
+  return params_.first_access_latency_ns +
+         bytes / params_.bandwidth_gb_per_s;
+}
+
+double Dram::stream_energy_pj(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  const double transfer = bytes * 8.0 * params_.energy_pj_per_bit;
+  // 1 mW * 1 ns = 1 pJ.
+  const double background =
+      params_.active_background_mw * stream_time_ns(bytes);
+  return transfer + background;
+}
+
+}  // namespace yoloc

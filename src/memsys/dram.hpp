@@ -1,0 +1,39 @@
+#pragma once
+// Off-chip DRAM model (LPDDR4-class, CACTI-IO scale constants).
+//
+// The paper's central system-level claim is that SRAM-CiM chips too
+// small to hold a model's weights must stream them from DRAM every
+// inference, and that this streaming dominates energy (Fig. 14c). The
+// model therefore exposes exactly the quantities that claim depends on:
+// energy per bit moved, streaming bandwidth, and one-time row-activation
+// latency.
+
+namespace yoloc {
+
+struct DramParams {
+  /// Total energy per bit transferred, device + PHY + controller [pJ/b].
+  /// LPDDR4-class interfaces land at 15-25 pJ/b including IO; 20 is the
+  /// default anchor (CACTI-IO scale).
+  double energy_pj_per_bit = 20.0;
+  double bandwidth_gb_per_s = 12.8;  // x32 LPDDR4-3200
+  double first_access_latency_ns = 100.0;
+  /// Background/refresh power while the interface is active [mW].
+  double active_background_mw = 40.0;
+};
+
+class Dram {
+ public:
+  explicit Dram(const DramParams& params);
+
+  /// Energy to stream `bytes` [pJ], including background power for the
+  /// duration of the transfer.
+  [[nodiscard]] double stream_energy_pj(double bytes) const;
+  /// Time to stream `bytes` [ns].
+  [[nodiscard]] double stream_time_ns(double bytes) const;
+  [[nodiscard]] const DramParams& params() const { return params_; }
+
+ private:
+  DramParams params_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,26 @@
+#include "memsys/noc.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+Noc::Noc(const NocParams& params) : params_(params) {
+  YOLOC_CHECK(params.energy_pj_per_bit_mm > 0.0 &&
+                  params.bandwidth_gb_per_s > 0.0,
+              "noc: invalid parameters");
+}
+
+double Noc::transfer_energy_pj(double bytes, double chip_area_mm2) const {
+  const double avg_mm = 0.5 * std::sqrt(std::max(chip_area_mm2, 0.0));
+  const double bits = bytes * 8.0;
+  return bits * (params_.energy_pj_per_bit_mm * avg_mm +
+                 params_.router_pj_per_bit);
+}
+
+double Noc::transfer_time_ns(double bytes) const {
+  return bytes / params_.bandwidth_gb_per_s;
+}
+
+}  // namespace yoloc

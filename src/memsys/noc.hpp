@@ -1,0 +1,31 @@
+#pragma once
+// On-chip interconnect (the "NoC" block of Fig. 9): moves feature maps
+// between macros and the SRAM cache. Modeled as energy per bit-millimeter
+// with an average Manhattan hop distance derived from the chip area.
+
+namespace yoloc {
+
+struct NocParams {
+  /// Wire energy at 28nm [pJ per bit per mm].
+  double energy_pj_per_bit_mm = 0.08;
+  /// Router overhead per bit per hop [pJ].
+  double router_pj_per_bit = 0.02;
+  double bandwidth_gb_per_s = 128.0;
+};
+
+class Noc {
+ public:
+  explicit Noc(const NocParams& params);
+
+  /// Energy to move `bytes` across a die of `chip_area_mm2` (average
+  /// distance = 0.5 * sqrt(area)) [pJ].
+  [[nodiscard]] double transfer_energy_pj(double bytes,
+                                          double chip_area_mm2) const;
+  [[nodiscard]] double transfer_time_ns(double bytes) const;
+  [[nodiscard]] const NocParams& params() const { return params_; }
+
+ private:
+  NocParams params_;
+};
+
+}  // namespace yoloc

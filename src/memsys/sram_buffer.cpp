@@ -1,0 +1,40 @@
+#include "memsys/sram_buffer.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace yoloc {
+
+SramBuffer::SramBuffer(const SramBufferParams& params) : params_(params) {
+  YOLOC_CHECK(params.capacity_kb > 0.0, "sram buffer: capacity > 0");
+  // sqrt-capacity scaling around the 64 kB anchor.
+  const double scale = std::sqrt(params.capacity_kb / 64.0);
+  energy_per_byte_pj_ = params.anchor_energy_pj * scale / 8.0;  // per byte
+  latency_ns_ = params.anchor_latency_ns * scale;
+}
+
+double SramBuffer::access_energy_pj(double bytes) const {
+  return bytes * energy_per_byte_pj_;
+}
+
+double SramBuffer::access_latency_ns() const { return latency_ns_; }
+
+double SramBuffer::stream_time_ns(double bytes) const {
+  // Internal bandwidth: one 64-bit word per latency-scaled cycle.
+  const double words = bytes / 8.0;
+  return words * latency_ns_ * 0.25;  // 4-way banking overlap
+}
+
+double SramBuffer::area_mm2() const {
+  const double bits = params_.capacity_kb * 1024.0 * 8.0;
+  return bits / (params_.density_mb_per_mm2 * kBitsPerMb) +
+         params_.periphery_mm2;
+}
+
+double SramBuffer::leakage_uw() const {
+  return params_.capacity_kb * params_.leakage_uw_per_kb;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,52 @@
+#pragma once
+// CACTI-lite: analytical on-chip SRAM buffer model.
+//
+// CACTI substitution (see DESIGN.md): the paper obtains buffer/DRAM
+// read-write energy and latency from CACTI [24]. Offline, we reproduce
+// the *scaling behaviour* CACTI exhibits for single-banked SRAM at 28 nm:
+// access energy and latency grow ~sqrt(capacity) (wordline/bitline length
+// per access scales with the square root of the array), area grows
+// linearly with capacity plus a fixed periphery. Constants are anchored
+// to published 28nm SRAM numbers (64 kB buffer ~= 6 pJ per 64-bit access,
+// ~1 ns latency) and are overridable for sensitivity studies.
+
+namespace yoloc {
+
+struct SramBufferParams {
+  double capacity_kb = 64.0;
+  /// Anchor energy for a 64-bit access of a 64 kB buffer [pJ].
+  double anchor_energy_pj = 6.0;
+  /// Anchor latency of a 64 kB buffer [ns].
+  double anchor_latency_ns = 1.0;
+  /// Bit density [Mb/mm^2] for plain (non-CiM) 6T SRAM at 28 nm.
+  double density_mb_per_mm2 = 2.8;
+  /// Fixed periphery area [mm^2].
+  double periphery_mm2 = 0.01;
+  /// Leakage per kB [uW].
+  double leakage_uw_per_kb = 0.6;
+};
+
+class SramBuffer {
+ public:
+  explicit SramBuffer(const SramBufferParams& params);
+
+  /// Energy to read or write `bytes` [pJ].
+  [[nodiscard]] double access_energy_pj(double bytes) const;
+  /// Random access latency [ns].
+  [[nodiscard]] double access_latency_ns() const;
+  /// Streaming time for `bytes` at the internal bandwidth [ns].
+  [[nodiscard]] double stream_time_ns(double bytes) const;
+  [[nodiscard]] double area_mm2() const;
+  [[nodiscard]] double leakage_uw() const;
+  [[nodiscard]] double capacity_bytes() const {
+    return params_.capacity_kb * 1024.0;
+  }
+  [[nodiscard]] const SramBufferParams& params() const { return params_; }
+
+ private:
+  SramBufferParams params_;
+  double energy_per_byte_pj_;
+  double latency_ns_;
+};
+
+}  // namespace yoloc

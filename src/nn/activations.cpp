@@ -1,0 +1,63 @@
+#include "nn/activations.hpp"
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const bool on = input[i] > 0.0f;
+    mask_[i] = on ? 1.0f : 0.0f;
+    out[i] = on ? input[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  YOLOC_CHECK(same_shape(grad_output, mask_), "relu: backward shape mismatch");
+  Tensor g(grad_output.shape());
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = grad_output[i] * mask_[i];
+  return g;
+}
+
+LeakyReLU::LeakyReLU(float negative_slope) : slope_(negative_slope) {}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool /*train*/) {
+  cached_input_ = input;
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out[i] = input[i] > 0.0f ? input[i] : slope_ * input[i];
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  YOLOC_CHECK(same_shape(grad_output, cached_input_),
+              "leaky_relu: backward shape mismatch");
+  Tensor g(grad_output.shape());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = grad_output[i] * (cached_input_[i] > 0.0f ? 1.0f : slope_);
+  }
+  return g;
+}
+
+Tensor Identity::forward(const Tensor& input, bool /*train*/) { return input; }
+
+Tensor Identity::backward(const Tensor& grad_output) { return grad_output; }
+
+Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+  YOLOC_CHECK(input.rank() >= 2, "flatten: rank >= 2 required");
+  input_shape_ = input.shape();
+  int features = 1;
+  for (int a = 1; a < input.rank(); ++a) features *= input.shape()[a];
+  return input.reshaped({input.shape()[0], features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  YOLOC_CHECK(!input_shape_.empty(), "flatten: backward before forward");
+  return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace yoloc

@@ -1,0 +1,54 @@
+#pragma once
+// Pointwise nonlinearities. The CiM datapath requires non-negative
+// activations at quantized-layer inputs (wordline pulses encode unsigned
+// amplitudes), so the networks use ReLU / LeakyReLU throughout, matching
+// the paper's VGG / ResNet / DarkNet models.
+
+#include "nn/layer.hpp"
+
+namespace yoloc {
+
+class ReLU final : public Layer {
+ public:
+  ReLU() = default;
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+/// LeakyReLU with the DarkNet-standard negative slope (default 0.1).
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.1f);
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "leaky_relu"; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+/// Pass-through; used as the skip path of residual blocks.
+class Identity final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "identity"; }
+};
+
+/// (N,C,H,W) -> (N, C*H*W).
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+
+ private:
+  std::vector<int> input_shape_;
+};
+
+}  // namespace yoloc

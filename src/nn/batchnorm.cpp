@@ -1,0 +1,122 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+BatchNorm2d::BatchNorm2d(int channels, float eps, float momentum,
+                         std::string layer_name)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      name_(std::move(layer_name)),
+      gamma_(name_ + ".gamma", Tensor::full({channels}, 1.0f)),
+      beta_(name_ + ".beta", Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::full({channels}, 1.0f)) {
+  YOLOC_CHECK(channels > 0, "batchnorm: channels > 0");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  YOLOC_CHECK(input.rank() == 4 && input.shape()[1] == channels_,
+              "batchnorm: NCHW input with matching channels required");
+  input_shape_ = input.shape();
+  const int n = input.shape()[0];
+  const int h = input.shape()[2];
+  const int w = input.shape()[3];
+  const int count = n * h * w;
+
+  Tensor out(input.shape());
+  cached_xhat_ = Tensor(input.shape());
+  cached_inv_std_ = Tensor({channels_});
+
+  for (int c = 0; c < channels_; ++c) {
+    double mu;
+    double var;
+    if (train) {
+      double acc = 0.0;
+      for (int ni = 0; ni < n; ++ni) {
+        const float* src = input.data() + input.index4(ni, c, 0, 0);
+        for (int s = 0; s < h * w; ++s) acc += src[s];
+      }
+      mu = acc / count;
+      double vacc = 0.0;
+      for (int ni = 0; ni < n; ++ni) {
+        const float* src = input.data() + input.index4(ni, c, 0, 0);
+        for (int s = 0; s < h * w; ++s) {
+          const double d = src[s] - mu;
+          vacc += d * d;
+        }
+      }
+      var = vacc / count;
+      const std::size_t ci = static_cast<std::size_t>(c);
+      running_mean_[ci] = (1.0f - momentum_) * running_mean_[ci] +
+                          momentum_ * static_cast<float>(mu);
+      running_var_[ci] = (1.0f - momentum_) * running_var_[ci] +
+                         momentum_ * static_cast<float>(var);
+    } else {
+      mu = running_mean_[static_cast<std::size_t>(c)];
+      var = running_var_[static_cast<std::size_t>(c)];
+    }
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float b = beta_.value[static_cast<std::size_t>(c)];
+    for (int ni = 0; ni < n; ++ni) {
+      const float* src = input.data() + input.index4(ni, c, 0, 0);
+      float* xh = cached_xhat_.data() + cached_xhat_.index4(ni, c, 0, 0);
+      float* dst = out.data() + out.index4(ni, c, 0, 0);
+      for (int s = 0; s < h * w; ++s) {
+        xh[s] = (src[s] - static_cast<float>(mu)) * inv_std;
+        dst[s] = g * xh[s] + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  YOLOC_CHECK(!input_shape_.empty(), "batchnorm: backward before forward");
+  const int n = input_shape_[0];
+  const int h = input_shape_[2];
+  const int w = input_shape_[3];
+  const int count = n * h * w;
+
+  Tensor g(input_shape_);
+  for (int c = 0; c < channels_; ++c) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (int ni = 0; ni < n; ++ni) {
+      const float* dy = grad_output.data() + grad_output.index4(ni, c, 0, 0);
+      const float* xh = cached_xhat_.data() + cached_xhat_.index4(ni, c, 0, 0);
+      for (int s = 0; s < h * w; ++s) {
+        sum_dy += dy[s];
+        sum_dy_xhat += dy[s] * xh[s];
+      }
+    }
+    gamma_.grad[ci] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[ci] += static_cast<float>(sum_dy);
+
+    const float gam = gamma_.value[ci];
+    const float inv_std = cached_inv_std_[ci];
+    const float k = gam * inv_std / static_cast<float>(count);
+    for (int ni = 0; ni < n; ++ni) {
+      const float* dy = grad_output.data() + grad_output.index4(ni, c, 0, 0);
+      const float* xh = cached_xhat_.data() + cached_xhat_.index4(ni, c, 0, 0);
+      float* dst = g.data() + g.index4(ni, c, 0, 0);
+      for (int s = 0; s < h * w; ++s) {
+        dst[s] = k * (static_cast<float>(count) * dy[s] -
+                      static_cast<float>(sum_dy) -
+                      xh[s] * static_cast<float>(sum_dy_xhat));
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
+
+}  // namespace yoloc

@@ -1,0 +1,46 @@
+#pragma once
+// Per-channel batch normalization for NCHW tensors.
+//
+// Training uses batch statistics and maintains running estimates; eval
+// uses the running estimates. Before quantized CiM deployment, BatchNorm
+// is folded into the preceding convolution (see nn/quantize.hpp) because
+// the macro computes a plain integer MVM.
+
+#include "nn/layer.hpp"
+
+namespace yoloc {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int channels, float eps = 1e-5f, float momentum = 0.1f,
+                       std::string layer_name = "bn");
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] int channels() const { return channels_; }
+  [[nodiscard]] float eps() const { return eps_; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  int channels_;
+  float eps_;
+  float momentum_;
+  std::string name_;
+  Parameter gamma_;  // (C)
+  Parameter beta_;   // (C)
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // backward cache (training mode)
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // (C)
+  std::vector<int> input_shape_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,116 @@
+#include "nn/container.hpp"
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  YOLOC_CHECK(layer != nullptr, "sequential: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> ps;
+  for (auto& l : layers_) {
+    auto sub = l->parameters();
+    ps.insert(ps.end(), sub.begin(), sub.end());
+  }
+  return ps;
+}
+
+std::vector<Layer*> Sequential::children() {
+  std::vector<Layer*> cs;
+  cs.reserve(layers_.size());
+  for (auto& l : layers_) cs.push_back(l.get());
+  return cs;
+}
+
+LayerPtr Sequential::replace_child(std::size_t i, LayerPtr l) {
+  YOLOC_CHECK(i < layers_.size(), "sequential: replace index out of range");
+  YOLOC_CHECK(l != nullptr, "sequential: null replacement");
+  std::swap(layers_[i], l);
+  return l;  // previous occupant
+}
+
+LayerPtr Sequential::remove(std::size_t i) {
+  YOLOC_CHECK(i < layers_.size(), "sequential: remove index out of range");
+  LayerPtr removed = std::move(layers_[i]);
+  layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(i));
+  return removed;
+}
+
+ParallelSum& ParallelSum::add_branch(LayerPtr branch) {
+  YOLOC_CHECK(branch != nullptr, "parallel_sum: null branch");
+  branches_.push_back(std::move(branch));
+  return *this;
+}
+
+Tensor ParallelSum::forward(const Tensor& input, bool train) {
+  YOLOC_CHECK(!branches_.empty(), "parallel_sum: no branches");
+  Tensor out = branches_[0]->forward(input, train);
+  for (std::size_t i = 1; i < branches_.size(); ++i) {
+    Tensor bi = branches_[i]->forward(input, train);
+    YOLOC_CHECK(same_shape(out, bi),
+                "parallel_sum: branch output shapes differ");
+    add_inplace(out, bi);
+  }
+  return out;
+}
+
+Tensor ParallelSum::backward(const Tensor& grad_output) {
+  Tensor g = branches_[0]->backward(grad_output);
+  for (std::size_t i = 1; i < branches_.size(); ++i) {
+    Tensor gi = branches_[i]->backward(grad_output);
+    add_inplace(g, gi);
+  }
+  return g;
+}
+
+std::vector<Parameter*> ParallelSum::parameters() {
+  std::vector<Parameter*> ps;
+  for (auto& b : branches_) {
+    auto sub = b->parameters();
+    ps.insert(ps.end(), sub.begin(), sub.end());
+  }
+  return ps;
+}
+
+std::vector<Layer*> ParallelSum::children() {
+  std::vector<Layer*> cs;
+  cs.reserve(branches_.size());
+  for (auto& b : branches_) cs.push_back(b.get());
+  return cs;
+}
+
+LayerPtr ParallelSum::replace_child(std::size_t i, LayerPtr l) {
+  YOLOC_CHECK(i < branches_.size(), "parallel_sum: replace index out of range");
+  YOLOC_CHECK(l != nullptr, "parallel_sum: null replacement");
+  std::swap(branches_[i], l);
+  return l;
+}
+
+LayerPtr make_residual(LayerPtr inner, std::string name) {
+  auto block = std::make_unique<ParallelSum>(std::move(name));
+  block->add_branch(std::make_unique<Identity>());
+  block->add_branch(std::move(inner));
+  return block;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,69 @@
+#pragma once
+// Composite layers.
+//
+// Sequential chains sub-layers; ParallelSum evaluates sub-layers on the
+// same input and sums their outputs — exactly the trunk + branch wiring
+// of ReBranch (paper Fig. 7) and, with an Identity branch, the classic
+// ResNet skip connection.
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace yoloc {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string layer_name) : name_(std::move(layer_name)) {}
+
+  /// Append a layer; returns *this for fluent building.
+  Sequential& add(LayerPtr layer);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<Layer*> children() override;
+  std::unique_ptr<Layer> replace_child(std::size_t i, LayerPtr l) override;
+  [[nodiscard]] std::string name() const override {
+    return name_.empty() ? "sequential" : name_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& at(std::size_t i) { return *layers_.at(i); }
+  /// Remove child i (used by the BatchNorm folding pass).
+  LayerPtr remove(std::size_t i);
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+};
+
+/// Sum of parallel branches applied to the same input. All branches must
+/// produce identically-shaped outputs.
+class ParallelSum final : public Layer {
+ public:
+  explicit ParallelSum(std::string layer_name = "parallel_sum")
+      : name_(std::move(layer_name)) {}
+
+  ParallelSum& add_branch(LayerPtr branch);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<Layer*> children() override;
+  std::unique_ptr<Layer> replace_child(std::size_t i, LayerPtr l) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::size_t branch_count() const { return branches_.size(); }
+  [[nodiscard]] Layer& branch(std::size_t i) { return *branches_.at(i); }
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> branches_;
+};
+
+/// ResNet basic residual wrapper: out = inner(x) + x.
+LayerPtr make_residual(LayerPtr inner, std::string name = "residual");
+
+}  // namespace yoloc

@@ -1,0 +1,109 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, bool bias, Rng& rng, std::string layer_name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad < 0 ? kernel / 2 : pad),
+      has_bias_(bias),
+      name_(std::move(layer_name)) {
+  YOLOC_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+              "conv2d: bad geometry");
+  const int fan_in = in_channels * kernel * kernel;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  weight_ = Parameter(name_ + ".weight",
+                      Tensor::randn({out_channels, fan_in}, rng, stddev));
+  bias_ = Parameter(name_ + ".bias", Tensor::zeros({out_channels}));
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+  YOLOC_CHECK(input.rank() == 4, "conv2d: NCHW input required");
+  YOLOC_CHECK(input.shape()[1] == in_channels_,
+              "conv2d: input channel mismatch");
+  input_shape_ = input.shape();
+  const int n = input.shape()[0];
+  const int oh = conv_out_extent(input.shape()[2], kernel_, stride_, pad_);
+  const int ow = conv_out_extent(input.shape()[3], kernel_, stride_, pad_);
+
+  cached_cols_ = im2col(input, kernel_, kernel_, stride_, pad_);
+  // (out_ch x patch) * (patch x n*oh*ow) -> (out_ch x n*oh*ow)
+  Tensor out2d = matmul(weight_.value, cached_cols_);
+
+  Tensor out({n, out_channels_, oh, ow});
+  const int spatial = oh * ow;
+  for (int ni = 0; ni < n; ++ni) {
+    for (int c = 0; c < out_channels_; ++c) {
+      const float b = has_bias_ ? bias_.value[static_cast<std::size_t>(c)]
+                                : 0.0f;
+      const float* src = out2d.data() +
+                         static_cast<std::size_t>(c) * n * spatial +
+                         static_cast<std::size_t>(ni) * spatial;
+      float* dst = out.data() + out.index4(ni, c, 0, 0);
+      for (int s = 0; s < spatial; ++s) dst[s] = src[s] + b;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  YOLOC_CHECK(!input_shape_.empty(), "conv2d: backward before forward");
+  YOLOC_CHECK(grad_output.rank() == 4 &&
+                  grad_output.shape()[1] == out_channels_,
+              "conv2d: grad_output shape mismatch");
+  const int n = grad_output.shape()[0];
+  const int oh = grad_output.shape()[2];
+  const int ow = grad_output.shape()[3];
+  const int spatial = oh * ow;
+
+  // Re-pack grad_output NCHW -> (out_ch x n*oh*ow) matching forward's 2-D
+  // layout (channel-major rows, batch-major columns).
+  Tensor g2d({out_channels_, n * spatial});
+  for (int ni = 0; ni < n; ++ni) {
+    for (int c = 0; c < out_channels_; ++c) {
+      const float* src = grad_output.data() + grad_output.index4(ni, c, 0, 0);
+      float* dst = g2d.data() + static_cast<std::size_t>(c) * n * spatial +
+                   static_cast<std::size_t>(ni) * spatial;
+      for (int s = 0; s < spatial; ++s) dst[s] = src[s];
+    }
+  }
+
+  // dL/dW = g2d * cols^T; accumulate into .grad (optimizer zeroes it).
+  Tensor w_grad = matmul(g2d, transpose2d(cached_cols_));
+  add_inplace(weight_.grad, w_grad);
+
+  if (has_bias_) {
+    for (int c = 0; c < out_channels_; ++c) {
+      double acc = 0.0;
+      const float* row = g2d.data() + static_cast<std::size_t>(c) * n * spatial;
+      for (int s = 0; s < n * spatial; ++s) acc += row[s];
+      bias_.grad[static_cast<std::size_t>(c)] += static_cast<float>(acc);
+    }
+  }
+
+  // dL/dX = col2im(W^T * g2d).
+  Tensor cols_grad = matmul(transpose2d(weight_.value), g2d);
+  return col2im(cols_grad, input_shape_, kernel_, kernel_, stride_, pad_);
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+LayerPtr make_pointwise(int in_channels, int out_channels, Rng& rng,
+                        std::string name) {
+  return std::make_unique<Conv2d>(in_channels, out_channels, /*kernel=*/1,
+                                  /*stride=*/1, /*pad=*/0, /*bias=*/false, rng,
+                                  std::move(name));
+}
+
+}  // namespace yoloc

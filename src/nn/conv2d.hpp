@@ -1,0 +1,60 @@
+#pragma once
+// 2-D convolution (NCHW) via im2col + matmul, with full backward.
+//
+// Weight layout: rank-2 (out_channels x in_channels*kh*kw) so the forward
+// pass is exactly the matrix-vector product the CiM macro executes — the
+// same matrix is later bit-sliced across ROM columns by the mapper.
+// Point-wise (1x1) convolution, the building block of ReBranch's
+// residual-compress/decompress layers (paper Fig. 8), is this class with
+// kernel=1.
+
+#include "nn/layer.hpp"
+
+namespace yoloc {
+
+class Conv2d final : public Layer {
+ public:
+  /// He-normal initialized conv. pad defaults to "same" for stride 1 when
+  /// pad < 0 (i.e. kernel/2).
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
+         bool bias, Rng& rng, std::string layer_name = "conv");
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] int in_channels() const { return in_channels_; }
+  [[nodiscard]] int out_channels() const { return out_channels_; }
+  [[nodiscard]] int kernel() const { return kernel_; }
+  [[nodiscard]] int stride() const { return stride_; }
+  [[nodiscard]] int pad() const { return pad_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  /// Enable the bias term post-construction (BatchNorm folding produces a
+  /// bias even when the conv was built without one).
+  void set_bias_enabled(bool enabled) { has_bias_ = enabled; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  bool has_bias_;
+  std::string name_;
+  Parameter weight_;  // (out_ch, in_ch*k*k)
+  Parameter bias_;    // (out_ch)
+
+  // forward() cache for backward():
+  Tensor cached_cols_;            // im2col of last input
+  std::vector<int> input_shape_;  // NCHW of last input
+};
+
+/// Convenience factory for point-wise (1x1, stride 1, pad 0) convolution.
+LayerPtr make_pointwise(int in_channels, int out_channels, Rng& rng,
+                        std::string name = "pointwise");
+
+}  // namespace yoloc

@@ -1,0 +1,88 @@
+#pragma once
+// Layer abstraction for the training substrate.
+//
+// The paper's ReBranch experiments need real gradient-descent transfer
+// learning with *selective freezing* (trunk weights burned into ROM are
+// frozen; branch weights in SRAM stay trainable). Each Layer implements
+// an explicit backward pass; Parameter carries a `trainable` flag the
+// optimizer honours, and a `rom_resident` flag the area model uses to
+// split bits between ROM-CiM and SRAM-CiM.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace yoloc {
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Optimizer updates this parameter only when true.
+  bool trainable = true;
+  /// Deployment hint: true => weights live in ROM-CiM (fixed at tape-out),
+  /// false => weights live in SRAM-CiM (reloadable).
+  bool rom_resident = false;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Base class for all differentiable modules.
+///
+/// Contract: backward(g) must be called with the gradient of the loss
+/// w.r.t. the output of the *most recent* forward() call, and returns the
+/// gradient w.r.t. that call's input. Layers cache whatever they need
+/// between the two calls (single-use tape).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All parameters owned by this layer (and its children, recursively).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Direct children (containers override). Enables generic graph walks
+  /// for freezing, BN folding and quantization.
+  virtual std::vector<Layer*> children() { return {}; }
+  /// Replace child i (containers override). Used by the network
+  /// transformation passes (BN fold, quantization).
+  virtual std::unique_ptr<Layer> replace_child(std::size_t /*i*/,
+                                               std::unique_ptr<Layer> /*l*/) {
+    return nullptr;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Shorthand for the ubiquitous owning pointer.
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Total number of scalar parameters (optionally trainable-only).
+std::size_t parameter_count(Layer& layer, bool trainable_only = false);
+
+/// Set `trainable` on every parameter for which pred(param) is true.
+template <typename Pred>
+void set_trainable_if(Layer& layer, Pred pred, bool trainable) {
+  for (Parameter* p : layer.parameters()) {
+    if (pred(*p)) p->trainable = trainable;
+  }
+}
+
+inline std::size_t parameter_count(Layer& layer, bool trainable_only) {
+  std::size_t n = 0;
+  for (Parameter* p : layer.parameters()) {
+    if (!trainable_only || p->trainable) n += p->value.size();
+  }
+  return n;
+}
+
+}  // namespace yoloc

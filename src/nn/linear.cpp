@@ -1,0 +1,64 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+
+Linear::Linear(int in_features, int out_features, bool bias, Rng& rng,
+               std::string layer_name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      name_(std::move(layer_name)) {
+  YOLOC_CHECK(in_features > 0 && out_features > 0, "linear: bad geometry");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_ = Parameter(name_ + ".weight",
+                      Tensor::randn({out_features, in_features}, rng, stddev));
+  bias_ = Parameter(name_ + ".bias", Tensor::zeros({out_features}));
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+  YOLOC_CHECK(input.rank() == 2, "linear: rank-2 input required");
+  YOLOC_CHECK(input.shape()[1] == in_features_, "linear: feature mismatch");
+  cached_input_ = input;
+  // (batch x in) * (in x out)
+  Tensor out = matmul(input, transpose2d(weight_.value));
+  if (has_bias_) {
+    const int batch = out.shape()[0];
+    for (int b = 0; b < batch; ++b) {
+      float* row = out.data() + static_cast<std::size_t>(b) * out_features_;
+      for (int o = 0; o < out_features_; ++o) {
+        row[o] += bias_.value[static_cast<std::size_t>(o)];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  YOLOC_CHECK(!cached_input_.empty(), "linear: backward before forward");
+  // dW = g^T * x ; dx = g * W ; db = colsum(g)
+  Tensor w_grad = matmul(transpose2d(grad_output), cached_input_);
+  add_inplace(weight_.grad, w_grad);
+  if (has_bias_) {
+    const int batch = grad_output.shape()[0];
+    for (int b = 0; b < batch; ++b) {
+      const float* row =
+          grad_output.data() + static_cast<std::size_t>(b) * out_features_;
+      for (int o = 0; o < out_features_; ++o) {
+        bias_.grad[static_cast<std::size_t>(o)] += row[o];
+      }
+    }
+  }
+  return matmul(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace yoloc

@@ -1,0 +1,34 @@
+#pragma once
+// Fully-connected layer (batch x in) -> (batch x out).
+
+#include "nn/layer.hpp"
+
+namespace yoloc {
+
+class Linear final : public Layer {
+ public:
+  Linear(int in_features, int out_features, bool bias, Rng& rng,
+         std::string layer_name = "linear");
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] int in_features() const { return in_features_; }
+  [[nodiscard]] int out_features() const { return out_features_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  bool has_bias_;
+  std::string name_;
+  Parameter weight_;  // (out x in)
+  Parameter bias_;    // (out)
+  Tensor cached_input_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,131 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+
+float sigmoidf(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  YOLOC_CHECK(logits.rank() == 2, "xent: rank-2 logits required");
+  const int batch = logits.shape()[0];
+  const int classes = logits.shape()[1];
+  YOLOC_CHECK(static_cast<int>(labels.size()) == batch,
+              "xent: label count mismatch");
+
+  Tensor probs = softmax_rows(logits);
+  LossResult res;
+  res.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int b = 0; b < batch; ++b) {
+    const int y = labels[static_cast<std::size_t>(b)];
+    YOLOC_CHECK(y >= 0 && y < classes, "xent: label out of range");
+    const float p = std::max(probs.at2(b, y), 1e-12f);
+    loss -= std::log(p);
+    for (int c = 0; c < classes; ++c) {
+      res.grad.at2(b, c) =
+          (probs.at2(b, c) - (c == y ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  res.value = loss / batch;
+  return res;
+}
+
+LossResult grid_detection_loss(const Tensor& pred,
+                               const std::vector<std::vector<GtBox>>& gt,
+                               const GridLossConfig& cfg) {
+  YOLOC_CHECK(pred.rank() == 4, "grid loss: NCHW prediction required");
+  const int batch = pred.shape()[0];
+  const int ch = pred.shape()[1];
+  const int s = pred.shape()[2];
+  YOLOC_CHECK(pred.shape()[3] == s && s == cfg.grid,
+              "grid loss: prediction grid mismatch");
+  YOLOC_CHECK(ch == 5 + cfg.classes, "grid loss: channel count mismatch");
+  YOLOC_CHECK(static_cast<int>(gt.size()) == batch,
+              "grid loss: gt batch mismatch");
+
+  LossResult res;
+  res.grad = Tensor(pred.shape());
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  // Per-cell target assignment: the last box whose center falls in a cell
+  // wins (synthetic scenes place at most one center per cell in practice).
+  for (int b = 0; b < batch; ++b) {
+    std::vector<int> cell_gt(static_cast<std::size_t>(s) * s, -1);
+    const auto& boxes = gt[static_cast<std::size_t>(b)];
+    for (std::size_t gi = 0; gi < boxes.size(); ++gi) {
+      const auto& box = boxes[gi];
+      const int cx = std::clamp(static_cast<int>(box.cx * s), 0, s - 1);
+      const int cy = std::clamp(static_cast<int>(box.cy * s), 0, s - 1);
+      cell_gt[static_cast<std::size_t>(cy) * s + cx] = static_cast<int>(gi);
+    }
+
+    for (int gy = 0; gy < s; ++gy) {
+      for (int gx = 0; gx < s; ++gx) {
+        const int assigned = cell_gt[static_cast<std::size_t>(gy) * s + gx];
+        const float obj_logit = pred.at4(b, 4, gy, gx);
+        const float obj = sigmoidf(obj_logit);
+        if (assigned < 0) {
+          // No-object cell: BCE towards 0, weighted by lambda_noobj.
+          loss += -cfg.lambda_noobj * std::log(std::max(1.0f - obj, 1e-12f));
+          res.grad.at4(b, 4, gy, gx) = cfg.lambda_noobj * obj * inv_batch;
+          continue;
+        }
+        const GtBox& box = boxes[static_cast<std::size_t>(assigned)];
+        // Objectness BCE towards 1.
+        loss += -std::log(std::max(obj, 1e-12f));
+        res.grad.at4(b, 4, gy, gx) = (obj - 1.0f) * inv_batch;
+
+        // Box geometry: sigmoid-squashed predictions vs targets; targets
+        // are cell-relative center and image-relative size.
+        const float tx_target = box.cx * s - static_cast<float>(gx);
+        const float ty_target = box.cy * s - static_cast<float>(gy);
+        const float targets[4] = {tx_target, ty_target, box.w, box.h};
+        for (int k = 0; k < 4; ++k) {
+          const float logit = pred.at4(b, k, gy, gx);
+          const float v = sigmoidf(logit);
+          const float d = v - targets[k];
+          loss += cfg.lambda_coord * d * d;
+          // d/dlogit of (v - t)^2 = 2 (v - t) v (1 - v)
+          res.grad.at4(b, k, gy, gx) =
+              cfg.lambda_coord * 2.0f * d * v * (1.0f - v) * inv_batch;
+        }
+
+        // Class: softmax cross entropy over class channels.
+        float mx = pred.at4(b, 5, gy, gx);
+        for (int c = 1; c < cfg.classes; ++c) {
+          mx = std::max(mx, pred.at4(b, 5 + c, gy, gx));
+        }
+        double denom = 0.0;
+        for (int c = 0; c < cfg.classes; ++c) {
+          denom += std::exp(pred.at4(b, 5 + c, gy, gx) - mx);
+        }
+        for (int c = 0; c < cfg.classes; ++c) {
+          const float p = static_cast<float>(
+              std::exp(pred.at4(b, 5 + c, gy, gx) - mx) / denom);
+          const float target = (c == box.cls) ? 1.0f : 0.0f;
+          if (c == box.cls) loss += -std::log(std::max(p, 1e-12f));
+          res.grad.at4(b, 5 + c, gy, gx) = (p - target) * inv_batch;
+        }
+      }
+    }
+  }
+  res.value = loss / batch;
+  return res;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,54 @@
+#pragma once
+// Loss functions.
+//
+// SoftmaxCrossEntropy drives the classification/transfer experiments
+// (Figs. 10/11); GridDetectionLoss drives the YOLO-style detection
+// experiments (Fig. 12). The detection loss follows the YOLOv1/v2 recipe:
+// the grid cell containing an object's center is "responsible" for it and
+// regresses box geometry, objectness and class; empty cells are pushed
+// towards zero objectness with a smaller weight.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace yoloc {
+
+struct LossResult {
+  double value = 0.0;  // mean loss over the batch
+  Tensor grad;         // dL/dlogits, same shape as the input
+};
+
+/// Mean softmax cross-entropy over a (batch x classes) logit tensor.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Ground-truth box in normalized image coordinates ([0,1] each).
+struct GtBox {
+  float cx = 0.0f;
+  float cy = 0.0f;
+  float w = 0.0f;
+  float h = 0.0f;
+  int cls = 0;
+};
+
+/// Hyper-parameters of the grid detection loss (YOLOv1-style weights).
+struct GridLossConfig {
+  int grid = 6;           // S: output is (batch, 5 + classes, S, S)
+  int classes = 4;
+  float lambda_coord = 5.0f;
+  float lambda_noobj = 0.5f;
+};
+
+/// Channels per cell: [tx, ty, tw, th, obj, class0..classC-1].
+/// tx,ty pass through a sigmoid (cell-relative center), tw,th through
+/// sigmoid too (box size as fraction of image), obj through sigmoid,
+/// class scores through softmax.
+LossResult grid_detection_loss(const Tensor& pred,
+                               const std::vector<std::vector<GtBox>>& gt,
+                               const GridLossConfig& cfg);
+
+/// Numerically stable logistic function (shared with the decoder).
+float sigmoidf(float x);
+
+}  // namespace yoloc

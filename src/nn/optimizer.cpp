@@ -1,0 +1,37 @@
+#include "nn/optimizer.hpp"
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    YOLOC_CHECK(p != nullptr, "sgd: null parameter");
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (!p.trainable) continue;
+    Tensor& v = velocity_[i];
+    float* pv = v.data();
+    float* pw = p.value.data();
+    const float* pg = p.grad.data();
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      const float g = pg[j] + cfg_.weight_decay * pw[j];
+      pv[j] = cfg_.momentum * pv[j] + g;
+      pw[j] -= cfg_.lr * pv[j];
+    }
+  }
+}
+
+}  // namespace yoloc

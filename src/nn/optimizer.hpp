@@ -1,0 +1,40 @@
+#pragma once
+// SGD with momentum and decoupled weight decay.
+//
+// The optimizer only updates parameters whose `trainable` flag is set —
+// this single mechanism implements every deployment option in the paper
+// (All-SRAM trains everything; All-ROM trains nothing but the classifier;
+// ReBranch trains only the SRAM-resident residual convolutions).
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace yoloc {
+
+struct SgdConfig {
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdConfig cfg);
+
+  /// Zero all gradient accumulators (including frozen parameters, whose
+  /// grads are still produced by backward()).
+  void zero_grad();
+  /// Apply one update to every trainable parameter.
+  void step();
+
+  void set_lr(float lr) { cfg_.lr = lr; }
+  [[nodiscard]] float lr() const { return cfg_.lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig cfg_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,98 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+MaxPool2d::MaxPool2d(int window) : window_(window) {
+  YOLOC_CHECK(window >= 2, "maxpool: window >= 2");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
+  YOLOC_CHECK(input.rank() == 4, "maxpool: NCHW required");
+  const int n = input.shape()[0];
+  const int c = input.shape()[1];
+  const int h = input.shape()[2];
+  const int w = input.shape()[3];
+  YOLOC_CHECK(h % window_ == 0 && w % window_ == 0,
+              "maxpool: input extent must be divisible by window");
+  const int oh = h / window_;
+  const int ow = w / window_;
+  input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+  for (int ni = 0; ni < n; ++ni) {
+    for (int ci = 0; ci < c; ++ci) {
+      for (int oi = 0; oi < oh; ++oi) {
+        for (int oj = 0; oj < ow; ++oj) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (int ki = 0; ki < window_; ++ki) {
+            for (int kj = 0; kj < window_; ++kj) {
+              const std::size_t idx = input.index4(
+                  ni, ci, oi * window_ + ki, oj * window_ + kj);
+              if (input[idx] > best) {
+                best = input[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t oidx = out.index4(ni, ci, oi, oj);
+          out[oidx] = best;
+          argmax_[oidx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  YOLOC_CHECK(!input_shape_.empty(), "maxpool: backward before forward");
+  YOLOC_CHECK(grad_output.size() == argmax_.size(),
+              "maxpool: grad shape mismatch");
+  Tensor g(input_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    g[argmax_[i]] += grad_output[i];
+  }
+  return g;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*train*/) {
+  YOLOC_CHECK(input.rank() == 4, "gap: NCHW required");
+  input_shape_ = input.shape();
+  const int n = input.shape()[0];
+  const int c = input.shape()[1];
+  const int spatial = input.shape()[2] * input.shape()[3];
+  Tensor out({n, c});
+  for (int ni = 0; ni < n; ++ni) {
+    for (int ci = 0; ci < c; ++ci) {
+      const float* src = input.data() + input.index4(ni, ci, 0, 0);
+      double acc = 0.0;
+      for (int s = 0; s < spatial; ++s) acc += src[s];
+      out.at2(ni, ci) = static_cast<float>(acc / spatial);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  YOLOC_CHECK(!input_shape_.empty(), "gap: backward before forward");
+  Tensor g(input_shape_);
+  const int n = input_shape_[0];
+  const int c = input_shape_[1];
+  const int spatial = input_shape_[2] * input_shape_[3];
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (int ni = 0; ni < n; ++ni) {
+    for (int ci = 0; ci < c; ++ci) {
+      const float go = grad_output.at2(ni, ci) * inv;
+      float* dst = g.data() + g.index4(ni, ci, 0, 0);
+      for (int s = 0; s < spatial; ++s) dst[s] = go;
+    }
+  }
+  return g;
+}
+
+}  // namespace yoloc

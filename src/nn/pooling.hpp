@@ -1,0 +1,34 @@
+#pragma once
+// Spatial pooling layers (NCHW).
+
+#include "nn/layer.hpp"
+
+namespace yoloc {
+
+/// Max pooling with square window and stride == window (the DarkNet /
+/// VGG configuration).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(int window);
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "maxpool"; }
+
+ private:
+  int window_;
+  std::vector<int> input_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pool: (N,C,H,W) -> (N,C).
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "gap"; }
+
+ private:
+  std::vector<int> input_shape_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,277 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/container.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+
+void ExactMvmEngine::mvm_batch(const std::int8_t* w, int m, int k,
+                               const std::uint8_t* x, int p, std::int32_t* y) {
+  parallel_for(static_cast<std::size_t>(m), [&](std::size_t mi) {
+    const std::int8_t* wrow = w + mi * static_cast<std::size_t>(k);
+    std::int32_t* yrow = y + mi * static_cast<std::size_t>(p);
+    for (int j = 0; j < p; ++j) yrow[j] = 0;
+    for (int kk = 0; kk < k; ++kk) {
+      const std::int32_t wv = wrow[kk];
+      if (wv == 0) continue;
+      const std::uint8_t* xrow = x + static_cast<std::size_t>(kk) * p;
+      for (int j = 0; j < p; ++j) yrow[j] += wv * xrow[j];
+    }
+  });
+}
+
+QuantConv2d::QuantConv2d(const Conv2d& src, MvmEngine& engine, int weight_bits,
+                         int act_bits)
+    : name_(src.name() + ".q"),
+      in_channels_(src.in_channels()),
+      out_channels_(src.out_channels()),
+      kernel_(src.kernel()),
+      stride_(src.stride()),
+      pad_(src.pad()),
+      patch_(src.in_channels() * src.kernel() * src.kernel()),
+      act_bits_(act_bits),
+      engine_(&engine) {
+  // const_cast-free copy: Parameter accessors are non-const, so snapshot
+  // through a local mutable reference.
+  auto& mutable_src = const_cast<Conv2d&>(src);
+  qweight_ = quantize_symmetric(mutable_src.weight().value, weight_bits);
+  bias_ = src.has_bias() ? mutable_src.bias().value
+                         : Tensor::zeros({out_channels_});
+}
+
+Tensor QuantConv2d::forward(const Tensor& input, bool /*train*/) {
+  YOLOC_CHECK(input.rank() == 4 && input.shape()[1] == in_channels_,
+              "quant conv: bad input");
+  const int n = input.shape()[0];
+  const int oh = conv_out_extent(input.shape()[2], kernel_, stride_, pad_);
+  const int ow = conv_out_extent(input.shape()[3], kernel_, stride_, pad_);
+  Tensor cols = im2col(input, kernel_, kernel_, stride_, pad_);
+  const int p = cols.shape()[1];
+
+  Tensor out({n, out_channels_, oh, ow});
+  const int spatial = oh * ow;
+
+  if (calibrating_) {
+    // Record range and compute the float reference with dequantized
+    // weights (so calibration sees weight-quantization error too).
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      observed_max_ = std::max(observed_max_, input[i]);
+    }
+    Tensor wdeq = dequantize(qweight_);
+    Tensor out2d = matmul(wdeq, cols);
+    for (int ni = 0; ni < n; ++ni) {
+      for (int c = 0; c < out_channels_; ++c) {
+        const float* src = out2d.data() +
+                           static_cast<std::size_t>(c) * p +
+                           static_cast<std::size_t>(ni) * spatial;
+        float* dst = out.data() + out.index4(ni, c, 0, 0);
+        const float b = bias_[static_cast<std::size_t>(c)];
+        for (int s = 0; s < spatial; ++s) dst[s] = src[s] + b;
+      }
+    }
+    return out;
+  }
+
+  YOLOC_CHECK(is_calibrated(), "quant conv: deploy before calibration");
+  // Quantize the im2col matrix (clamp negatives to zero: wordline pulses
+  // are unsigned).
+  QuantizedActivations qx =
+      quantize_unsigned_with_scale(cols, act_scale_, act_bits_);
+
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(out_channels_) * p);
+  engine_->mvm_batch(qweight_.data.data(), out_channels_, patch_,
+                     qx.data.data(), p, acc.data());
+
+  const float rescale = qweight_.scale * act_scale_;
+  for (int ni = 0; ni < n; ++ni) {
+    for (int c = 0; c < out_channels_; ++c) {
+      const std::int32_t* src = acc.data() +
+                                static_cast<std::size_t>(c) * p +
+                                static_cast<std::size_t>(ni) * spatial;
+      float* dst = out.data() + out.index4(ni, c, 0, 0);
+      const float b = bias_[static_cast<std::size_t>(c)];
+      for (int s = 0; s < spatial; ++s) {
+        dst[s] = rescale * static_cast<float>(src[s]) + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor QuantConv2d::backward(const Tensor& /*grad_output*/) {
+  YOLOC_CHECK(false, "quantized layers are inference-only");
+  return {};
+}
+
+void QuantConv2d::finalize_calibration() {
+  calibrating_ = false;
+  const float qmax = static_cast<float>(unsigned_qmax(act_bits_));
+  act_scale_ = observed_max_ > 0.0f ? observed_max_ / qmax : 1.0f;
+}
+
+QuantLinear::QuantLinear(Linear& src, MvmEngine& engine, int weight_bits,
+                         int act_bits)
+    : name_(src.name() + ".q"),
+      in_features_(src.in_features()),
+      out_features_(src.out_features()),
+      act_bits_(act_bits),
+      engine_(&engine) {
+  qweight_ = quantize_symmetric(src.weight().value, weight_bits);
+  bias_ = src.has_bias() ? src.bias().value : Tensor::zeros({out_features_});
+}
+
+Tensor QuantLinear::forward(const Tensor& input, bool /*train*/) {
+  YOLOC_CHECK(input.rank() == 2 && input.shape()[1] == in_features_,
+              "quant linear: bad input");
+  const int batch = input.shape()[0];
+  Tensor out({batch, out_features_});
+
+  if (calibrating_) {
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      observed_max_ = std::max(observed_max_, input[i]);
+    }
+    Tensor wdeq = dequantize(qweight_);
+    Tensor ref = matmul(input, transpose2d(wdeq));
+    for (int b = 0; b < batch; ++b) {
+      for (int o = 0; o < out_features_; ++o) {
+        out.at2(b, o) = ref.at2(b, o) + bias_[static_cast<std::size_t>(o)];
+      }
+    }
+    return out;
+  }
+
+  YOLOC_CHECK(act_scale_ > 0.0f, "quant linear: deploy before calibration");
+  // X columns = batch entries: engine wants (k x p) with k = features.
+  QuantizedActivations qx = quantize_unsigned_with_scale(
+      transpose2d(input), act_scale_, act_bits_);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(out_features_) *
+                                batch);
+  engine_->mvm_batch(qweight_.data.data(), out_features_, in_features_,
+                     qx.data.data(), batch, acc.data());
+  const float rescale = qweight_.scale * act_scale_;
+  for (int o = 0; o < out_features_; ++o) {
+    for (int b = 0; b < batch; ++b) {
+      out.at2(b, o) =
+          rescale * static_cast<float>(
+                        acc[static_cast<std::size_t>(o) * batch + b]) +
+          bias_[static_cast<std::size_t>(o)];
+    }
+  }
+  return out;
+}
+
+Tensor QuantLinear::backward(const Tensor& /*grad_output*/) {
+  YOLOC_CHECK(false, "quantized layers are inference-only");
+  return {};
+}
+
+void QuantLinear::finalize_calibration() {
+  calibrating_ = false;
+  const float qmax = static_cast<float>(unsigned_qmax(act_bits_));
+  act_scale_ = observed_max_ > 0.0f ? observed_max_ / qmax : 1.0f;
+}
+
+namespace {
+
+void fold_batchnorm_into_conv(Conv2d& conv, BatchNorm2d& bn) {
+  YOLOC_CHECK(conv.out_channels() == bn.channels(),
+              "bn fold: channel mismatch");
+  Tensor& w = conv.weight().value;
+  const int out_ch = conv.out_channels();
+  const int patch = w.shape()[1];
+  conv.set_bias_enabled(true);
+  Tensor& b = conv.bias().value;
+  for (int o = 0; o < out_ch; ++o) {
+    const std::size_t oi = static_cast<std::size_t>(o);
+    const float g = bn.gamma().value[oi];
+    const float mu = bn.running_mean()[oi];
+    const float var = bn.running_var()[oi];
+    const float beta = bn.beta().value[oi];
+    const float scale = g / std::sqrt(var + bn.eps());
+    float* wrow = w.data() + oi * static_cast<std::size_t>(patch);
+    for (int kk = 0; kk < patch; ++kk) wrow[kk] *= scale;
+    b[oi] = (b[oi] - mu) * scale + beta;
+  }
+}
+
+int fold_batchnorm_rec(Layer& layer) {
+  int folds = 0;
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
+    // Fold pairs first, then recurse into what remains.
+    for (std::size_t i = 0; i + 1 < seq->size();) {
+      auto* conv = dynamic_cast<Conv2d*>(&seq->at(i));
+      auto* bn = dynamic_cast<BatchNorm2d*>(&seq->at(i + 1));
+      if (conv != nullptr && bn != nullptr) {
+        fold_batchnorm_into_conv(*conv, *bn);
+        seq->remove(i + 1);
+        ++folds;
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (Layer* child : layer.children()) folds += fold_batchnorm_rec(*child);
+  return folds;
+}
+
+int quantize_rec(Layer& layer, MvmEngine& engine, int weight_bits,
+                 int act_bits) {
+  int replaced = 0;
+  const auto children = layer.children();
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    Layer* child = children[i];
+    if (auto* conv = dynamic_cast<Conv2d*>(child)) {
+      auto q = std::make_unique<QuantConv2d>(*conv, engine, weight_bits,
+                                             act_bits);
+      layer.replace_child(i, std::move(q));
+      ++replaced;
+    } else if (auto* lin = dynamic_cast<Linear*>(child)) {
+      auto q =
+          std::make_unique<QuantLinear>(*lin, engine, weight_bits, act_bits);
+      layer.replace_child(i, std::move(q));
+      ++replaced;
+    } else {
+      replaced += quantize_rec(*child, engine, weight_bits, act_bits);
+    }
+  }
+  return replaced;
+}
+
+template <typename Fn>
+void for_each_quant_layer(Layer& layer, Fn&& fn) {
+  if (auto* qc = dynamic_cast<QuantConv2d*>(&layer)) fn(qc, nullptr);
+  if (auto* ql = dynamic_cast<QuantLinear*>(&layer)) fn(nullptr, ql);
+  for (Layer* child : layer.children()) {
+    for_each_quant_layer(*child, fn);
+  }
+}
+
+}  // namespace
+
+int fold_batchnorm(Layer& root) { return fold_batchnorm_rec(root); }
+
+int quantize_network(Layer& root, MvmEngine& engine, int weight_bits,
+                     int act_bits) {
+  YOLOC_CHECK(!root.children().empty(),
+              "quantize_network: root must be a container");
+  return quantize_rec(root, engine, weight_bits, act_bits);
+}
+
+void calibrate_quantized(Layer& root, const Tensor& images) {
+  for_each_quant_layer(root, [](QuantConv2d* qc, QuantLinear* ql) {
+    if (qc != nullptr) qc->set_calibration_mode(true);
+    if (ql != nullptr) ql->set_calibration_mode(true);
+  });
+  (void)root.forward(images, /*train=*/false);
+  for_each_quant_layer(root, [](QuantConv2d* qc, QuantLinear* ql) {
+    if (qc != nullptr) qc->finalize_calibration();
+    if (ql != nullptr) ql->finalize_calibration();
+  });
+}
+
+}  // namespace yoloc

@@ -1,0 +1,131 @@
+#pragma once
+// Lowering a trained float network onto the integer CiM datapath.
+//
+// Pipeline (mirrors the paper's deployment flow, Sec. 3.3):
+//   1. fold_batchnorm()       - BN folded into the preceding conv, because
+//                               the macro executes a plain integer MVM.
+//   2. quantize_network()     - every Conv2d/Linear replaced by a
+//                               QuantConv2d/QuantLinear holding int8
+//                               weights and an MvmEngine reference.
+//   3. calibrate + finalize   - one forward pass over a calibration batch
+//                               records per-layer activation ranges.
+//   4. Deploy mode            - forward() now routes every MVM through
+//                               the engine: ExactMvmEngine for the integer
+//                               reference, or the macro-backed engine that
+//                               models the analog bitline + ADC.
+//
+// Activation convention: unsigned 8-bit, zero point 0 (wordline pulses
+// encode non-negative amplitudes). Negative layer inputs clamp to zero,
+// so quantized layers must follow ReLU-family activations — the trainable
+// "-lite" networks use plain ReLU for this reason.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "tensor/quant.hpp"
+
+namespace yoloc {
+
+/// Integer matrix-vector-multiply backend.
+class MvmEngine {
+ public:
+  virtual ~MvmEngine() = default;
+  /// Y (m x p, int32) = W (m x k, int8, row-major) * X (k x p, uint8,
+  /// row-major). Implementations may model analog non-idealities, in
+  /// which case Y approximates the exact product.
+  virtual void mvm_batch(const std::int8_t* w, int m, int k,
+                         const std::uint8_t* x, int p, std::int32_t* y) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Bit-exact integer reference backend.
+class ExactMvmEngine final : public MvmEngine {
+ public:
+  void mvm_batch(const std::int8_t* w, int m, int k, const std::uint8_t* x,
+                 int p, std::int32_t* y) override;
+  [[nodiscard]] std::string name() const override { return "exact"; }
+};
+
+/// Inference-only quantized convolution. See file comment for the modes.
+class QuantConv2d final : public Layer {
+ public:
+  /// Snapshot the float conv's geometry and weights; `engine` must outlive
+  /// this layer.
+  QuantConv2d(const Conv2d& src, MvmEngine& engine, int weight_bits = 8,
+              int act_bits = 8);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;  // throws
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void set_calibration_mode(bool on) { calibrating_ = on; }
+  /// Convert the recorded input range into the deployed activation scale.
+  void finalize_calibration();
+  [[nodiscard]] bool is_calibrated() const { return act_scale_ > 0.0f; }
+  [[nodiscard]] float act_scale() const { return act_scale_; }
+  [[nodiscard]] const QuantizedTensor& weights() const { return qweight_; }
+  [[nodiscard]] int out_channels() const { return out_channels_; }
+  [[nodiscard]] int patch_size() const { return patch_; }
+
+ private:
+  std::string name_;
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  int patch_;  // in_ch * k * k
+  int act_bits_;
+  QuantizedTensor qweight_;  // (out_ch x patch)
+  Tensor bias_;              // (out_ch), float
+  MvmEngine* engine_;
+  bool calibrating_ = false;
+  float observed_max_ = 0.0f;
+  float act_scale_ = -1.0f;
+};
+
+/// Inference-only quantized fully-connected layer.
+class QuantLinear final : public Layer {
+ public:
+  QuantLinear(Linear& src, MvmEngine& engine, int weight_bits = 8,
+              int act_bits = 8);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;  // throws
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void set_calibration_mode(bool on) { calibrating_ = on; }
+  void finalize_calibration();
+  [[nodiscard]] float act_scale() const { return act_scale_; }
+
+ private:
+  std::string name_;
+  int in_features_;
+  int out_features_;
+  int act_bits_;
+  QuantizedTensor qweight_;  // (out x in)
+  Tensor bias_;
+  MvmEngine* engine_;
+  bool calibrating_ = false;
+  float observed_max_ = 0.0f;
+  float act_scale_ = -1.0f;
+};
+
+/// Fold every (Conv2d, BatchNorm2d) adjacent pair inside Sequential
+/// containers (recursively). Returns the number of folds performed.
+int fold_batchnorm(Layer& root);
+
+/// Replace every Conv2d / Linear reachable from root with its quantized
+/// counterpart bound to `engine`. Returns the number of replacements.
+/// Root itself must be a container.
+int quantize_network(Layer& root, MvmEngine& engine, int weight_bits = 8,
+                     int act_bits = 8);
+
+/// Run `images` through the network in calibration mode, then finalize
+/// all activation scales.
+void calibrate_quantized(Layer& root, const Tensor& images);
+
+}  // namespace yoloc

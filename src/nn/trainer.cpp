@@ -1,0 +1,148 @@
+#include "nn/trainer.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+
+Tensor gather_batch(const Tensor& images, const std::vector<int>& indices) {
+  YOLOC_CHECK(images.rank() == 4, "gather_batch: NCHW required");
+  const int c = images.shape()[1];
+  const int h = images.shape()[2];
+  const int w = images.shape()[3];
+  const std::size_t stride = static_cast<std::size_t>(c) * h * w;
+  Tensor batch({static_cast<int>(indices.size()), c, h, w});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const int src = indices[i];
+    YOLOC_CHECK(src >= 0 && src < images.shape()[0],
+                "gather_batch: index out of range");
+    const float* from = images.data() + static_cast<std::size_t>(src) * stride;
+    float* to = batch.data() + i * stride;
+    std::copy(from, from + stride, to);
+  }
+  return batch;
+}
+
+namespace {
+
+std::vector<int> shuffled_indices(int n, Rng& rng) {
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  return idx;
+}
+
+}  // namespace
+
+TrainStats train_classifier(Layer& model, const Tensor& images,
+                            const std::vector<int>& labels,
+                            const TrainConfig& cfg) {
+  YOLOC_CHECK(images.rank() == 4, "train: NCHW images required");
+  const int n = images.shape()[0];
+  YOLOC_CHECK(static_cast<int>(labels.size()) == n, "train: label mismatch");
+
+  Sgd opt(model.parameters(), cfg.sgd);
+  Rng rng(cfg.seed);
+  TrainStats stats;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto order = shuffled_indices(n, rng);
+    double loss_acc = 0.0;
+    int batches = 0;
+    for (int start = 0; start + cfg.batch_size <= n;
+         start += cfg.batch_size) {
+      std::vector<int> idx(order.begin() + start,
+                           order.begin() + start + cfg.batch_size);
+      Tensor batch = gather_batch(images, idx);
+      std::vector<int> batch_labels;
+      batch_labels.reserve(idx.size());
+      for (int i : idx) batch_labels.push_back(labels[static_cast<std::size_t>(i)]);
+
+      opt.zero_grad();
+      Tensor logits = model.forward(batch, /*train=*/true);
+      LossResult loss = softmax_cross_entropy(logits, batch_labels);
+      model.backward(loss.grad);
+      opt.step();
+      loss_acc += loss.value;
+      ++batches;
+    }
+    const double epoch_loss = batches > 0 ? loss_acc / batches : 0.0;
+    stats.epoch_loss.push_back(epoch_loss);
+    if (cfg.verbose) {
+      std::printf("  epoch %2d  loss %.4f  lr %.4f\n", epoch, epoch_loss,
+                  opt.lr());
+    }
+    opt.set_lr(opt.lr() * cfg.lr_decay);
+  }
+  return stats;
+}
+
+double evaluate_classifier(Layer& model, const Tensor& images,
+                           const std::vector<int>& labels, int batch_size) {
+  const int n = images.shape()[0];
+  YOLOC_CHECK(static_cast<int>(labels.size()) == n, "eval: label mismatch");
+  int correct = 0;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    std::vector<int> idx(static_cast<std::size_t>(end - start));
+    std::iota(idx.begin(), idx.end(), start);
+    Tensor batch = gather_batch(images, idx);
+    Tensor logits = model.forward(batch, /*train=*/false);
+    const auto pred = argmax_rows(logits);
+    for (int i = start; i < end; ++i) {
+      if (pred[static_cast<std::size_t>(i - start)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        ++correct;
+      }
+    }
+  }
+  return n > 0 ? static_cast<double>(correct) / n : 0.0;
+}
+
+TrainStats train_detector(Layer& model, const Tensor& images,
+                          const std::vector<std::vector<GtBox>>& boxes,
+                          const GridLossConfig& loss_cfg,
+                          const TrainConfig& cfg) {
+  YOLOC_CHECK(images.rank() == 4, "train_detector: NCHW images required");
+  const int n = images.shape()[0];
+  YOLOC_CHECK(static_cast<int>(boxes.size()) == n,
+              "train_detector: box list mismatch");
+
+  Sgd opt(model.parameters(), cfg.sgd);
+  Rng rng(cfg.seed);
+  TrainStats stats;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto order = shuffled_indices(n, rng);
+    double loss_acc = 0.0;
+    int batches = 0;
+    for (int start = 0; start + cfg.batch_size <= n;
+         start += cfg.batch_size) {
+      std::vector<int> idx(order.begin() + start,
+                           order.begin() + start + cfg.batch_size);
+      Tensor batch = gather_batch(images, idx);
+      std::vector<std::vector<GtBox>> batch_boxes;
+      batch_boxes.reserve(idx.size());
+      for (int i : idx) batch_boxes.push_back(boxes[static_cast<std::size_t>(i)]);
+
+      opt.zero_grad();
+      Tensor pred = model.forward(batch, /*train=*/true);
+      LossResult loss = grid_detection_loss(pred, batch_boxes, loss_cfg);
+      model.backward(loss.grad);
+      opt.step();
+      loss_acc += loss.value;
+      ++batches;
+    }
+    const double epoch_loss = batches > 0 ? loss_acc / batches : 0.0;
+    stats.epoch_loss.push_back(epoch_loss);
+    if (cfg.verbose) {
+      std::printf("  epoch %2d  det-loss %.4f\n", epoch, epoch_loss);
+    }
+    opt.set_lr(opt.lr() * cfg.lr_decay);
+  }
+  return stats;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,56 @@
+#pragma once
+// Mini-batch training loops for classification and grid detection.
+//
+// These loops are deliberately simple (shuffled epochs, SGD + momentum,
+// multiplicative LR decay) — the experiments compare *deployment options*
+// under identical training budgets, so sophistication in the optimizer
+// would only blur the comparison.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace yoloc {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 32;
+  SgdConfig sgd;
+  /// lr <- lr * lr_decay after each epoch.
+  float lr_decay = 0.95f;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;
+  [[nodiscard]] double final_loss() const {
+    return epoch_loss.empty() ? 0.0 : epoch_loss.back();
+  }
+};
+
+/// Gather the rows of `images` (N,C,H,W) selected by `indices` into a new
+/// batch tensor.
+Tensor gather_batch(const Tensor& images, const std::vector<int>& indices);
+
+/// Train a classifier in place. `images` is (N,C,H,W); labels[i] in
+/// [0, classes).
+TrainStats train_classifier(Layer& model, const Tensor& images,
+                            const std::vector<int>& labels,
+                            const TrainConfig& cfg);
+
+/// Top-1 accuracy in [0,1].
+double evaluate_classifier(Layer& model, const Tensor& images,
+                           const std::vector<int>& labels,
+                           int batch_size = 64);
+
+/// Train a grid detector in place. boxes[i] lists ground truth for image i.
+TrainStats train_detector(Layer& model, const Tensor& images,
+                          const std::vector<std::vector<GtBox>>& boxes,
+                          const GridLossConfig& loss_cfg,
+                          const TrainConfig& cfg);
+
+}  // namespace yoloc

@@ -1,0 +1,193 @@
+#include "nn/zoo.hpp"
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace yoloc {
+
+LayerPtr plain_conv_unit(const ConvSpec& spec, Rng& rng) {
+  return std::make_unique<Conv2d>(spec.in_channels, spec.out_channels,
+                                  spec.kernel, spec.stride, spec.pad,
+                                  /*bias=*/false, rng, spec.name);
+}
+
+namespace {
+
+/// conv-unit + BN + ReLU, appended to seq.
+void add_conv_bn_relu(Sequential& seq, const ConvSpec& spec,
+                      const ConvUnitFactory& factory, Rng& rng) {
+  seq.add(factory(spec, rng));
+  seq.add(std::make_unique<BatchNorm2d>(spec.out_channels, 1e-5f, 0.1f,
+                                        spec.name + ".bn"));
+  seq.add(std::make_unique<ReLU>());
+}
+
+/// One ResNet basic block: two 3x3 conv units with a skip; projection
+/// skip (pointwise stride-s conv + BN) when geometry changes.
+LayerPtr make_basic_block(int in_ch, int out_ch, int stride,
+                          const std::string& name,
+                          const ConvUnitFactory& factory, Rng& rng) {
+  auto main_path = std::make_unique<Sequential>(name + ".main");
+  add_conv_bn_relu(*main_path,
+                   ConvSpec{in_ch, out_ch, 3, stride, -1, name + ".conv1"},
+                   factory, rng);
+  main_path->add(factory(ConvSpec{out_ch, out_ch, 3, 1, -1, name + ".conv2"},
+                         rng));
+  main_path->add(std::make_unique<BatchNorm2d>(out_ch, 1e-5f, 0.1f,
+                                               name + ".conv2.bn"));
+
+  LayerPtr skip;
+  if (stride != 1 || in_ch != out_ch) {
+    auto proj = std::make_unique<Sequential>(name + ".proj");
+    // Projection skips are small and stay in SRAM: plain conv, not the
+    // factory (ReBranch only wraps the deep 3x3 trunk convolutions).
+    proj->add(std::make_unique<Conv2d>(in_ch, out_ch, 1, stride, 0,
+                                       /*bias=*/false, rng,
+                                       name + ".proj.conv"));
+    proj->add(std::make_unique<BatchNorm2d>(out_ch, 1e-5f, 0.1f,
+                                            name + ".proj.bn"));
+    skip = std::move(proj);
+  } else {
+    skip = std::make_unique<Identity>();
+  }
+
+  auto sum = std::make_unique<ParallelSum>(name);
+  sum->add_branch(std::move(skip));
+  sum->add_branch(std::move(main_path));
+
+  auto block = std::make_unique<Sequential>(name + ".block");
+  block->add(std::move(sum));
+  block->add(std::make_unique<ReLU>());
+  return block;
+}
+
+}  // namespace
+
+LayerPtr build_vgg8_lite(const ZooConfig& cfg,
+                         const ConvUnitFactory& factory) {
+  YOLOC_CHECK(cfg.image_size % 8 == 0, "vgg8-lite: image_size % 8 == 0");
+  Rng rng(cfg.seed);
+  const int w = cfg.base_width;
+  auto net = std::make_unique<Sequential>("vgg8_lite");
+  const int widths[3] = {w, 2 * w, 4 * w};
+  int in_ch = cfg.in_channels;
+  for (int stage = 0; stage < 3; ++stage) {
+    const int out_ch = widths[stage];
+    const std::string base = "backbone.stage" + std::to_string(stage);
+    add_conv_bn_relu(*net, ConvSpec{in_ch, out_ch, 3, 1, -1, base + ".conv1"},
+                     factory, rng);
+    add_conv_bn_relu(*net,
+                     ConvSpec{out_ch, out_ch, 3, 1, -1, base + ".conv2"},
+                     factory, rng);
+    net->add(std::make_unique<MaxPool2d>(2));
+    in_ch = out_ch;
+  }
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Linear>(4 * w, cfg.num_classes, /*bias=*/true,
+                                    rng, "head.fc"));
+  return net;
+}
+
+LayerPtr build_resnet18_lite(const ZooConfig& cfg,
+                             const ConvUnitFactory& factory) {
+  YOLOC_CHECK(cfg.image_size % 8 == 0, "resnet18-lite: image_size % 8 == 0");
+  Rng rng(cfg.seed);
+  const int w = cfg.base_width;
+  auto net = std::make_unique<Sequential>("resnet18_lite");
+  add_conv_bn_relu(*net,
+                   ConvSpec{cfg.in_channels, w, 3, 1, -1, "backbone.stem"},
+                   factory, rng);
+  const int widths[4] = {w, 2 * w, 4 * w, 8 * w};
+  int in_ch = w;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int out_ch = widths[stage];
+    const int stride = stage == 0 ? 1 : 2;
+    const std::string base = "backbone.stage" + std::to_string(stage);
+    net->add(make_basic_block(in_ch, out_ch, stride, base + ".block0",
+                              factory, rng));
+    net->add(make_basic_block(out_ch, out_ch, 1, base + ".block1", factory,
+                              rng));
+    in_ch = out_ch;
+  }
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Linear>(8 * w, cfg.num_classes, /*bias=*/true,
+                                    rng, "head.fc"));
+  return net;
+}
+
+LayerPtr build_darknet_lite_backbone(const ZooConfig& cfg,
+                                     const ConvUnitFactory& factory) {
+  YOLOC_CHECK(cfg.image_size % 8 == 0, "darknet-lite: image_size % 8 == 0");
+  Rng rng(cfg.seed);
+  const int w = cfg.base_width;
+  auto net = std::make_unique<Sequential>("darknet_lite");
+  add_conv_bn_relu(*net,
+                   ConvSpec{cfg.in_channels, w, 3, 1, -1, "backbone.conv1"},
+                   factory, rng);
+  net->add(std::make_unique<MaxPool2d>(2));
+  add_conv_bn_relu(*net, ConvSpec{w, 2 * w, 3, 1, -1, "backbone.conv2"},
+                   factory, rng);
+  net->add(std::make_unique<MaxPool2d>(2));
+  // DarkNet-style 3x3 / 1x1 / 3x3 bottleneck trio.
+  add_conv_bn_relu(*net, ConvSpec{2 * w, 4 * w, 3, 1, -1, "backbone.conv3"},
+                   factory, rng);
+  add_conv_bn_relu(*net, ConvSpec{4 * w, 2 * w, 1, 1, 0, "backbone.conv4"},
+                   factory, rng);
+  add_conv_bn_relu(*net, ConvSpec{2 * w, 4 * w, 3, 1, -1, "backbone.conv5"},
+                   factory, rng);
+  net->add(std::make_unique<MaxPool2d>(2));
+  return net;
+}
+
+int detector_grid_extent(int image_size) { return image_size / 8; }
+
+LayerPtr build_detector_lite(const ZooConfig& cfg,
+                             const ConvUnitFactory& factory) {
+  Rng rng(cfg.seed + 1);
+  const int w = cfg.base_width;
+  auto net = std::make_unique<Sequential>("detector_lite");
+  net->add(build_darknet_lite_backbone(cfg, factory));
+  // Detection head: one 3x3 refinement conv + pointwise projection to the
+  // per-cell prediction vector. Head weights are SRAM-resident.
+  auto head = std::make_unique<Sequential>("head");
+  Rng head_rng(cfg.seed + 2);
+  head->add(std::make_unique<Conv2d>(4 * w, 4 * w, 3, 1, -1, /*bias=*/false,
+                                     head_rng, "head.conv"));
+  head->add(std::make_unique<BatchNorm2d>(4 * w, 1e-5f, 0.1f,
+                                          "head.conv.bn"));
+  head->add(std::make_unique<ReLU>());
+  head->add(std::make_unique<Conv2d>(4 * w, 5 + cfg.num_classes, 1, 1, 0,
+                                     /*bias=*/true, head_rng, "head.pred"));
+  net->add(std::move(head));
+  return net;
+}
+
+LayerPtr build_tiny_detector_lite(const ZooConfig& cfg,
+                                  const ConvUnitFactory& factory) {
+  Rng rng(cfg.seed + 3);
+  const int w = std::max(2, cfg.base_width / 2);
+  auto net = std::make_unique<Sequential>("tiny_detector_lite");
+  auto backbone = std::make_unique<Sequential>("tiny_backbone");
+  Rng brng(cfg.seed + 4);
+  add_conv_bn_relu(*backbone,
+                   ConvSpec{cfg.in_channels, w, 3, 1, -1, "backbone.conv1"},
+                   factory, brng);
+  backbone->add(std::make_unique<MaxPool2d>(2));
+  add_conv_bn_relu(*backbone, ConvSpec{w, 2 * w, 3, 1, -1, "backbone.conv2"},
+                   factory, brng);
+  backbone->add(std::make_unique<MaxPool2d>(2));
+  add_conv_bn_relu(*backbone,
+                   ConvSpec{2 * w, 2 * w, 3, 1, -1, "backbone.conv3"},
+                   factory, brng);
+  backbone->add(std::make_unique<MaxPool2d>(2));
+  net->add(std::move(backbone));
+  net->add(std::make_unique<Conv2d>(2 * w, 5 + cfg.num_classes, 1, 1, 0,
+                                    /*bias=*/true, rng, "head.pred"));
+  return net;
+}
+
+}  // namespace yoloc

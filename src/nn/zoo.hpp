@@ -1,0 +1,81 @@
+#pragma once
+// Trainable scaled-down ("-lite") versions of the paper's model families.
+//
+// Full-size VGG-8 / ResNet-18 / DarkNet-19 layer tables (used for the
+// area/energy results) live in arch/network_model.hpp; the -lite variants
+// here share the same topology family but shrink width and input size so
+// the in-repo trainer can run the transfer-learning experiments
+// (Figs. 10-12) in seconds.
+//
+// Every backbone convolution is created through a ConvUnitFactory hook:
+// the default factory emits a plain Conv2d, while the ReBranch factory
+// (rebranch/rebranch.hpp) emits trunk+branch ParallelSum blocks. This is
+// the single seam through which all four deployment options of the paper
+// are constructed.
+//
+// Naming convention (drives freezing policies and ROM/SRAM splits):
+//   backbone.*   - feature extractor (candidate for ROM residency)
+//   head.*       - classifier / detection head (always SRAM, trainable)
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/container.hpp"
+#include "nn/layer.hpp"
+
+namespace yoloc {
+
+/// Geometry of one backbone conv unit.
+struct ConvSpec {
+  int in_channels = 0;
+  int out_channels = 0;
+  int kernel = 3;
+  int stride = 1;
+  int pad = -1;  // -1 => same padding (kernel/2)
+  std::string name;
+};
+
+/// Factory invoked for every backbone conv. Must return a layer mapping
+/// (N, in_channels, H, W) -> (N, out_channels, H/stride, W/stride).
+using ConvUnitFactory = std::function<LayerPtr(const ConvSpec&, Rng&)>;
+
+/// Default factory: a single bias-free Conv2d.
+LayerPtr plain_conv_unit(const ConvSpec& spec, Rng& rng);
+
+struct ZooConfig {
+  int image_size = 16;
+  int in_channels = 3;
+  int base_width = 8;
+  int num_classes = 8;
+  std::uint64_t seed = 42;
+};
+
+/// VGG-8-lite: three conv-conv-pool stages (w, 2w, 4w), GAP, linear head.
+LayerPtr build_vgg8_lite(const ZooConfig& cfg, const ConvUnitFactory& factory);
+
+/// ResNet-18-lite: stem + four stages of two basic residual blocks
+/// (w, 2w, 4w, 8w), GAP, linear head. Stage transitions use stride-2
+/// blocks with pointwise-projection skips.
+LayerPtr build_resnet18_lite(const ZooConfig& cfg,
+                             const ConvUnitFactory& factory);
+
+/// DarkNet-lite backbone (3x3 / 1x1 alternation with maxpools) used by
+/// the detector; output spatial extent = image_size / 8.
+LayerPtr build_darknet_lite_backbone(const ZooConfig& cfg,
+                                     const ConvUnitFactory& factory);
+
+/// Grid detector: DarkNet-lite backbone + detection head producing
+/// (5 + num_classes) channels on an (image_size/8)^2 grid.
+LayerPtr build_detector_lite(const ZooConfig& cfg,
+                             const ConvUnitFactory& factory);
+
+/// Tiny detector: half-depth backbone (the paper's Tiny-YOLO analogue,
+/// all layers trainable / SRAM-resident).
+LayerPtr build_tiny_detector_lite(const ZooConfig& cfg,
+                                  const ConvUnitFactory& factory);
+
+/// Grid extent of the -lite detectors for a given image size.
+int detector_grid_extent(int image_size);
+
+}  // namespace yoloc

@@ -1,0 +1,131 @@
+#include "rebranch/detection_transfer.hpp"
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+std::string detector_option_name(DetectorOption opt) {
+  switch (opt) {
+    case DetectorOption::kSramCim:
+      return "SRAM-CiM";
+    case DetectorOption::kTinyYolo:
+      return "Tiny-YOLO";
+    case DetectorOption::kDeepConv:
+      return "Deep-Conv";
+    case DetectorOption::kPredOnly:
+      return "Pred-Only (Opt.II)";
+    case DetectorOption::kYoloc:
+      return "YOLoC";
+  }
+  return "?";
+}
+
+DetectionTransferHarness::DetectionTransferHarness(
+    DetectionTransferSetup setup)
+    : setup_(std::move(setup)),
+      source_spec_(coco_like_spec(setup_.image_size)) {
+  Rng rng(setup_.data_seed);
+  source_train_ = generate_detection(source_spec_, setup_.pretrain_scenes,
+                                     rng);
+  source_test_ = generate_detection(source_spec_,
+                                    setup_.target_test_scenes, rng);
+}
+
+LayerPtr DetectionTransferHarness::build_model(Structure structure) const {
+  ZooConfig zoo;
+  zoo.image_size = setup_.image_size;
+  zoo.base_width = setup_.base_width;
+  zoo.num_classes = kNumShapeClasses;
+  zoo.seed = 77;
+
+  switch (structure) {
+    case Structure::kPlain:
+      return build_detector_lite(zoo, plain_conv_unit);
+    case Structure::kReBranch:
+      return build_detector_lite(zoo, make_rebranch_factory(setup_.rebranch));
+    case Structure::kTiny:
+      return build_tiny_detector_lite(zoo, plain_conv_unit);
+  }
+  YOLOC_CHECK(false, "unknown detector structure");
+  return nullptr;
+}
+
+const ParamSnapshot& DetectionTransferHarness::pretrained(
+    Structure structure) {
+  std::optional<ParamSnapshot>* slot = nullptr;
+  switch (structure) {
+    case Structure::kPlain:
+      slot = &plain_snap_;
+      break;
+    case Structure::kReBranch:
+      slot = &rebranch_snap_;
+      break;
+    case Structure::kTiny:
+      slot = &tiny_snap_;
+      break;
+  }
+  if (!slot->has_value()) {
+    LayerPtr model = build_model(structure);
+    (void)train_detector(*model, source_train_.images, source_train_.boxes,
+                         setup_.loss_cfg, setup_.pretrain_cfg);
+    if (structure == Structure::kPlain) {
+      source_map_ = evaluate_detector_map(*model, source_test_);
+    }
+    *slot = snapshot_parameters(*model);
+  }
+  return slot->value();
+}
+
+double DetectionTransferHarness::source_map() {
+  (void)pretrained(Structure::kPlain);
+  return source_map_.value_or(0.0);
+}
+
+DetectionOutcome DetectionTransferHarness::run(DetectorOption opt,
+                                               const DetectionSpec& target) {
+  Rng rng(setup_.data_seed ^ 0xD00D);
+  DetectionDataset train =
+      generate_detection(target, setup_.target_train_scenes, rng);
+  DetectionDataset test =
+      generate_detection(target, setup_.target_test_scenes, rng);
+
+  Structure structure = Structure::kPlain;
+  TransferOption policy = TransferOption::kAllSram;
+  switch (opt) {
+    case DetectorOption::kSramCim:
+      structure = Structure::kPlain;
+      policy = TransferOption::kAllSram;
+      break;
+    case DetectorOption::kTinyYolo:
+      structure = Structure::kTiny;
+      policy = TransferOption::kAllSram;
+      break;
+    case DetectorOption::kDeepConv:
+      structure = Structure::kPlain;
+      policy = TransferOption::kDeepConv;
+      break;
+    case DetectorOption::kPredOnly:
+      structure = Structure::kPlain;
+      policy = TransferOption::kAllRom;
+      break;
+    case DetectorOption::kYoloc:
+      structure = Structure::kReBranch;
+      policy = TransferOption::kReBranch;
+      break;
+  }
+
+  LayerPtr model = build_model(structure);
+  restore_parameters(*model, pretrained(structure));
+  apply_transfer_policy(*model, policy);
+  (void)train_detector(*model, train.images, train.boxes, setup_.loss_cfg,
+                       setup_.finetune_cfg);
+
+  DetectionOutcome outcome;
+  outcome.option = opt;
+  outcome.target = target.name;
+  outcome.map = evaluate_detector_map(*model, test);
+  outcome.split = deployment_split(*model);
+  return outcome;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,37 @@
+#include "rebranch/qat_conv.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
+
+namespace yoloc {
+
+QatConv2d::QatConv2d(int in_channels, int out_channels, int kernel,
+                     int stride, int pad, int weight_bits, Rng& rng,
+                     std::string layer_name)
+    : name_(std::move(layer_name)),
+      weight_bits_(weight_bits),
+      inner_(in_channels, out_channels, kernel, stride, pad, /*bias=*/false,
+             rng, name_ + ".inner") {
+  master_ = Parameter(name_ + ".weight", inner_.weight().value);
+  // Decorations start near zero so the trunk initially dominates.
+  scale_inplace(master_.value, 0.1f);
+}
+
+Tensor QatConv2d::forward(const Tensor& input, bool train) {
+  // Straight-through estimator: run the conv on the quantized snapshot.
+  inner_.weight().value = dequantize(quantize_symmetric(master_.value,
+                                                        weight_bits_));
+  return inner_.forward(input, train);
+}
+
+Tensor QatConv2d::backward(const Tensor& grad_output) {
+  inner_.weight().grad.zero();
+  Tensor grad_in = inner_.backward(grad_output);
+  // STE: route the (quantized-weight) gradient to the float master.
+  add_inplace(master_.grad, inner_.weight().grad);
+  return grad_in;
+}
+
+std::vector<Parameter*> QatConv2d::parameters() { return {&master_}; }
+
+}  // namespace yoloc

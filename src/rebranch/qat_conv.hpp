@@ -1,0 +1,32 @@
+#pragma once
+// Quantization-aware convolution for SPWD (paper Option III): the SRAM
+// "decoration" branch runs at 2-bit weights, trained with the
+// straight-through estimator — forward uses quantized weights, gradients
+// flow to the float master copy unchanged.
+
+#include "nn/conv2d.hpp"
+
+namespace yoloc {
+
+class QatConv2d final : public Layer {
+ public:
+  QatConv2d(int in_channels, int out_channels, int kernel, int stride,
+            int pad, int weight_bits, Rng& rng, std::string layer_name);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] int weight_bits() const { return weight_bits_; }
+
+ private:
+  std::string name_;
+  int weight_bits_;
+  Conv2d inner_;
+  /// Float master weights; inner_.weight() holds the quantized snapshot
+  /// used by forward/backward.
+  Parameter master_;
+};
+
+}  // namespace yoloc

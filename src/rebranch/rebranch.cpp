@@ -1,0 +1,223 @@
+#include "rebranch/rebranch.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "nn/container.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/ops.hpp"
+#include "rebranch/qat_conv.hpp"
+
+namespace yoloc {
+
+std::string option_name(TransferOption opt) {
+  switch (opt) {
+    case TransferOption::kAllSram:
+      return "All SRAM";
+    case TransferOption::kAllRom:
+      return "All ROM";
+    case TransferOption::kDeepConv:
+      return "Deep Conv";
+    case TransferOption::kSpwd:
+      return "SPWD";
+    case TransferOption::kReBranch:
+      return "ReBranch";
+    case TransferOption::kRosl:
+      return "ROSL";
+  }
+  return "?";
+}
+
+ConvUnitFactory make_rebranch_factory(const ReBranchConfig& cfg) {
+  YOLOC_CHECK(cfg.d >= 1 && cfg.u >= 1, "rebranch: D,U >= 1");
+  const int d = cfg.d;
+  const int u = cfg.u;
+  return [d, u](const ConvSpec& spec, Rng& rng) -> LayerPtr {
+    const int cin = std::max(1, spec.in_channels / d);
+    const int cout = std::max(1, spec.out_channels / u);
+
+    auto trunk = std::make_unique<Conv2d>(
+        spec.in_channels, spec.out_channels, spec.kernel, spec.stride,
+        spec.pad, /*bias=*/false, rng, spec.name + ".trunk");
+
+    auto branch = std::make_unique<Sequential>(spec.name + ".branch");
+    branch->add(std::make_unique<Conv2d>(spec.in_channels, cin, 1, 1, 0,
+                                         /*bias=*/false, rng,
+                                         spec.name + ".rescomp"));
+    auto resconv = std::make_unique<Conv2d>(cin, cout, spec.kernel,
+                                            spec.stride, spec.pad,
+                                            /*bias=*/false, rng,
+                                            spec.name + ".resconv");
+    // Near-zero init of the *trainable* stage: the block starts as
+    // trunk-only (classic residual-branch practice), so the composite
+    // network trains as well as the plain one and the branch grows only
+    // to fit residuals. The fixed (ROM) projections keep full-scale
+    // init — a zero projection could never be compensated after
+    // tape-out.
+    scale_inplace(resconv->weight().value, 0.05f);
+    branch->add(std::move(resconv));
+    branch->add(std::make_unique<Conv2d>(cout, spec.out_channels, 1, 1, 0,
+                                         /*bias=*/false, rng,
+                                         spec.name + ".resdecomp"));
+
+    auto sum = std::make_unique<ParallelSum>(spec.name);
+    sum->add_branch(std::move(trunk));
+    sum->add_branch(std::move(branch));
+    return sum;
+  };
+}
+
+ConvUnitFactory make_spwd_factory(int decor_bits) {
+  return [decor_bits](const ConvSpec& spec, Rng& rng) -> LayerPtr {
+    auto trunk = std::make_unique<Conv2d>(
+        spec.in_channels, spec.out_channels, spec.kernel, spec.stride,
+        spec.pad, /*bias=*/false, rng, spec.name + ".trunk");
+    auto decor = std::make_unique<QatConv2d>(
+        spec.in_channels, spec.out_channels, spec.kernel, spec.stride,
+        spec.pad, decor_bits, rng, spec.name + ".decor");
+    auto sum = std::make_unique<ParallelSum>(spec.name);
+    sum->add_branch(std::move(trunk));
+    sum->add_branch(std::move(decor));
+    return sum;
+  };
+}
+
+ParamSnapshot snapshot_parameters(Layer& model) {
+  ParamSnapshot snap;
+  for (Parameter* p : model.parameters()) {
+    snap.emplace(p->name, p->value);
+  }
+  return snap;
+}
+
+int restore_parameters(Layer& model, const ParamSnapshot& snapshot) {
+  int copied = 0;
+  for (Parameter* p : model.parameters()) {
+    const auto it = snapshot.find(p->name);
+    if (it == snapshot.end()) continue;
+    if (it->second.shape() != p->value.shape()) continue;
+    p->value = it->second;
+    ++copied;
+  }
+  return copied;
+}
+
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool in_backbone(const Parameter& p) { return contains(p.name, "backbone"); }
+bool is_bn(const Parameter& p) {
+  return contains(p.name, ".bn") || contains(p.name, ".gamma") ||
+         contains(p.name, ".beta");
+}
+
+void set_all(Layer& model, bool trainable, bool rom_resident) {
+  for (Parameter* p : model.parameters()) {
+    p->trainable = trainable;
+    p->rom_resident = rom_resident;
+  }
+}
+
+/// Name prefix (up to ".weight") of the deepest backbone conv weight.
+std::string last_backbone_conv_prefix(Layer& model) {
+  std::string prefix;
+  for (Parameter* p : model.parameters()) {
+    if (!in_backbone(*p) || is_bn(*p)) continue;
+    const auto pos = p->name.rfind(".weight");
+    if (pos == std::string::npos) continue;
+    prefix = p->name.substr(0, pos);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+void apply_transfer_policy(Layer& model, TransferOption opt) {
+  switch (opt) {
+    case TransferOption::kAllSram:
+      set_all(model, /*trainable=*/true, /*rom=*/false);
+      return;
+
+    case TransferOption::kAllRom:
+    case TransferOption::kRosl:
+      // Feature extractor entirely fixed in ROM; head (and nothing else)
+      // trains in SRAM. ROSL additionally replaces the head by a
+      // prototype classifier at evaluation time (rosl.hpp).
+      for (Parameter* p : model.parameters()) {
+        const bool backbone = in_backbone(*p);
+        p->trainable = !backbone;
+        p->rom_resident = backbone;
+      }
+      return;
+
+    case TransferOption::kDeepConv: {
+      const std::string deepest = last_backbone_conv_prefix(model);
+      for (Parameter* p : model.parameters()) {
+        const bool backbone = in_backbone(*p);
+        const bool deep = !deepest.empty() && contains(p->name, deepest);
+        const bool trainable = !backbone || deep;
+        p->trainable = trainable;
+        p->rom_resident = backbone && !deep;
+      }
+      return;
+    }
+
+    case TransferOption::kSpwd:
+      for (Parameter* p : model.parameters()) {
+        const bool backbone = in_backbone(*p);
+        const bool decor = contains(p->name, ".decor");
+        // Trunks freeze into ROM; decorations + BN + head train in SRAM.
+        const bool frozen = backbone && !decor && !is_bn(*p);
+        p->trainable = !frozen;
+        p->rom_resident = frozen;
+      }
+      return;
+
+    case TransferOption::kReBranch:
+      for (Parameter* p : model.parameters()) {
+        const bool backbone = in_backbone(*p);
+        const bool resconv = contains(p->name, ".resconv");
+        const bool fixed_branch = contains(p->name, ".rescomp") ||
+                                  contains(p->name, ".resdecomp");
+        const bool frozen =
+            backbone && !resconv && !is_bn(*p) &&
+            (contains(p->name, ".trunk") || fixed_branch ||
+             // plain convs that the factory left unwrapped (projections)
+             !contains(p->name, ".res"));
+        p->trainable = !frozen;
+        p->rom_resident = frozen;
+      }
+      return;
+  }
+}
+
+double DeploymentSplit::memory_area_mm2(double rom_density_mb_mm2,
+                                        double sram_density_mb_mm2) const {
+  return rom_bits / (rom_density_mb_mm2 * kBitsPerMb) +
+         sram_bits / (sram_density_mb_mm2 * kBitsPerMb);
+}
+
+DeploymentSplit deployment_split(Layer& model, int weight_bits,
+                                 int spwd_decor_bits) {
+  DeploymentSplit split;
+  for (Parameter* p : model.parameters()) {
+    const bool decor = contains(p->name, ".decor");
+    const double bits_per =
+        decor ? static_cast<double>(spwd_decor_bits)
+              : static_cast<double>(weight_bits);
+    if (p->rom_resident) {
+      split.rom_bits += static_cast<double>(p->value.size()) * bits_per;
+      split.rom_params += p->value.size();
+    } else {
+      split.sram_bits += static_cast<double>(p->value.size()) * bits_per;
+      split.sram_params += p->value.size();
+    }
+  }
+  return split;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,83 @@
+#pragma once
+// Residual Branch (ReBranch) construction and deployment-option policies
+// (paper Sec. 3.2, Figs. 6 & 7).
+//
+// ReBranch wraps every backbone convolution in a trunk+branch pair:
+//
+//        x ------------------ trunk conv (kxk, fixed, ROM) -------+
+//        |                                                        + -> OFM
+//        +--- res-compress (1x1, fixed, ROM, in -> in/D)          |
+//                -> res-conv (kxk, TRAINABLE, SRAM, in/D->out/U)  |
+//                -> res-decompress (1x1, fixed, ROM, out/U->out) -+
+//
+// holding only ~1/(D*U) of the trunk's parameters in writable SRAM.
+//
+// The four deployment options the paper compares are expressed as
+// freezing/residency policies over parameter names (the zoo's naming
+// convention: "backbone.*" vs "head.*", plus the suffixes ".trunk",
+// ".rescomp", ".resconv", ".resdecomp", ".decor" introduced here):
+//   kAllSram  - everything trainable, everything SRAM (baseline [3])
+//   kAllRom   - backbone frozen in ROM, only the head trains (Option II)
+//   kDeepConv - kAllRom but the deepest backbone conv stays trainable
+//   kSpwd     - 2-bit SRAM "decoration" conv parallel to each trunk
+//               (Option III)
+//   kReBranch - trunk + (de)compress frozen in ROM, res-conv trains in
+//               SRAM (Option IV, proposed)
+//   kRosl     - frozen extractor + TCAM prototype classifier (Option I)
+
+#include <map>
+#include <string>
+
+#include "nn/zoo.hpp"
+
+namespace yoloc {
+
+enum class TransferOption {
+  kAllSram,
+  kAllRom,
+  kDeepConv,
+  kSpwd,
+  kReBranch,
+  kRosl,
+};
+
+std::string option_name(TransferOption opt);
+
+struct ReBranchConfig {
+  int d = 4;  // channel compression ratio
+  int u = 4;  // channel decompression ratio
+};
+
+/// Conv-unit factory emitting trunk+branch ParallelSum blocks.
+ConvUnitFactory make_rebranch_factory(const ReBranchConfig& cfg);
+
+/// Conv-unit factory emitting trunk + low-bit decoration (Option III).
+ConvUnitFactory make_spwd_factory(int decor_bits = 2);
+
+/// Name -> value snapshot of every parameter.
+using ParamSnapshot = std::map<std::string, Tensor>;
+ParamSnapshot snapshot_parameters(Layer& model);
+/// Copy matching (name, shape) entries into the model; returns the count.
+int restore_parameters(Layer& model, const ParamSnapshot& snapshot);
+
+/// Apply the freezing/residency policy of a deployment option.
+void apply_transfer_policy(Layer& model, TransferOption opt);
+
+/// ROM/SRAM weight accounting after a policy is applied. SPWD decoration
+/// weights count at their quantized width (bits_override), everything
+/// else at 8 bits.
+struct DeploymentSplit {
+  double rom_bits = 0.0;
+  double sram_bits = 0.0;
+  std::size_t rom_params = 0;
+  std::size_t sram_params = 0;
+
+  [[nodiscard]] double total_bits() const { return rom_bits + sram_bits; }
+  /// Memory area [mm^2] given macro densities [Mb/mm^2].
+  [[nodiscard]] double memory_area_mm2(double rom_density_mb_mm2,
+                                       double sram_density_mb_mm2) const;
+};
+DeploymentSplit deployment_split(Layer& model, int weight_bits = 8,
+                                 int spwd_decor_bits = 2);
+
+}  // namespace yoloc

@@ -1,0 +1,87 @@
+#include "rebranch/rosl.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "nn/linear.hpp"
+#include "nn/trainer.hpp"
+
+namespace yoloc {
+
+Tensor embed_without_head(Sequential& net, const Tensor& images,
+                          int batch_size) {
+  YOLOC_CHECK(net.size() >= 2, "rosl: net too shallow");
+  YOLOC_CHECK(dynamic_cast<Linear*>(&net.at(net.size() - 1)) != nullptr,
+              "rosl: expected a Linear head as the last layer");
+  const int n = images.shape()[0];
+  Tensor all;
+  int dim = -1;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    std::vector<int> idx(static_cast<std::size_t>(end - start));
+    std::iota(idx.begin(), idx.end(), start);
+    Tensor x = gather_batch(images, idx);
+    for (std::size_t li = 0; li + 1 < net.size(); ++li) {
+      x = net.at(li).forward(x, /*train=*/false);
+    }
+    YOLOC_CHECK(x.rank() == 2, "rosl: embedding must be rank-2");
+    if (dim < 0) {
+      dim = x.shape()[1];
+      all = Tensor({n, dim});
+    }
+    for (int i = 0; i < end - start; ++i) {
+      for (int f = 0; f < dim; ++f) {
+        all.at2(start + i, f) = x.at2(i, f);
+      }
+    }
+  }
+  return all;
+}
+
+double evaluate_rosl(Sequential& net, const LabeledDataset& train,
+                     const LabeledDataset& test) {
+  YOLOC_CHECK(train.num_classes == test.num_classes,
+              "rosl: class count mismatch");
+  Tensor train_emb = embed_without_head(net, train.images);
+  Tensor test_emb = embed_without_head(net, test.images);
+  const int dim = train_emb.shape()[1];
+  const int classes = train.num_classes;
+
+  // Per-class mean prototype.
+  Tensor prototypes({classes, dim});
+  std::vector<int> counts(static_cast<std::size_t>(classes), 0);
+  for (int i = 0; i < train_emb.shape()[0]; ++i) {
+    const int c = train.labels[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(c)];
+    for (int f = 0; f < dim; ++f) prototypes.at2(c, f) += train_emb.at2(i, f);
+  }
+  for (int c = 0; c < classes; ++c) {
+    YOLOC_CHECK(counts[static_cast<std::size_t>(c)] > 0,
+                "rosl: class with no training samples");
+    const float inv = 1.0f / static_cast<float>(counts[static_cast<std::size_t>(c)]);
+    for (int f = 0; f < dim; ++f) prototypes.at2(c, f) *= inv;
+  }
+
+  // TCAM-style L1 nearest prototype.
+  int correct = 0;
+  for (int i = 0; i < test_emb.shape()[0]; ++i) {
+    float best = std::numeric_limits<float>::infinity();
+    int best_c = 0;
+    for (int c = 0; c < classes; ++c) {
+      float dist = 0.0f;
+      for (int f = 0; f < dim; ++f) {
+        dist += std::fabs(test_emb.at2(i, f) - prototypes.at2(c, f));
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == test.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return test.size() > 0 ? static_cast<double>(correct) / test.size() : 0.0;
+}
+
+}  // namespace yoloc

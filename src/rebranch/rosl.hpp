@@ -1,0 +1,22 @@
+#pragma once
+// ROM-CiM-based One-Shot Learning (paper Option I, Fig. 6a): the frozen
+// ROM feature extractor feeds an SRAM-TCAM distance comparator. The
+// comparator is modeled as a nearest-prototype classifier under L1
+// distance (the metric a TCAM-style match line computes).
+
+#include "data/classification.hpp"
+#include "nn/container.hpp"
+
+namespace yoloc {
+
+/// Embed images with every layer of `net` except the final Linear head
+/// (the zoo models end in [..., GlobalAvgPool, Linear]).
+Tensor embed_without_head(Sequential& net, const Tensor& images,
+                          int batch_size = 64);
+
+/// Fit per-class mean prototypes on the train split and classify the test
+/// split by minimum L1 distance. Returns top-1 accuracy.
+double evaluate_rosl(Sequential& net, const LabeledDataset& train,
+                     const LabeledDataset& test);
+
+}  // namespace yoloc

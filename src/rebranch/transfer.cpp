@@ -1,0 +1,138 @@
+#include "rebranch/transfer.hpp"
+
+#include "common/check.hpp"
+#include "macro/macro_config.hpp"
+#include "rebranch/rosl.hpp"
+
+namespace yoloc {
+
+std::string backbone_name(BackboneKind kind) {
+  switch (kind) {
+    case BackboneKind::kVgg8:
+      return "VGG-8";
+    case BackboneKind::kResNet18:
+      return "ResNet-18";
+  }
+  return "?";
+}
+
+TransferHarness::TransferHarness(TransferSetup setup)
+    : setup_(std::move(setup)),
+      source_spec_(source_suite_spec(setup_.image_size)) {
+  Rng rng(setup_.data_seed);
+  source_train_ = generate_classification(
+      source_spec_, setup_.pretrain_samples_per_class, rng);
+  source_test_ = generate_classification(
+      source_spec_, setup_.target_test_samples_per_class, rng);
+}
+
+TransferHarness::Structure TransferHarness::structure_for(
+    TransferOption opt) const {
+  switch (opt) {
+    case TransferOption::kReBranch:
+      return Structure::kReBranch;
+    case TransferOption::kSpwd:
+      return Structure::kSpwd;
+    default:
+      return Structure::kPlain;
+  }
+}
+
+LayerPtr TransferHarness::build_model(Structure structure,
+                                      int num_classes) const {
+  ZooConfig zoo;
+  zoo.image_size = setup_.image_size;
+  zoo.base_width = setup_.base_width;
+  zoo.num_classes = num_classes;
+  zoo.seed = 99;  // same seed -> same init across options
+
+  ConvUnitFactory factory;
+  switch (structure) {
+    case Structure::kPlain:
+      factory = plain_conv_unit;
+      break;
+    case Structure::kReBranch:
+      factory = make_rebranch_factory(setup_.rebranch);
+      break;
+    case Structure::kSpwd:
+      factory = make_spwd_factory(setup_.spwd_decor_bits);
+      break;
+  }
+  switch (setup_.backbone) {
+    case BackboneKind::kVgg8:
+      return build_vgg8_lite(zoo, factory);
+    case BackboneKind::kResNet18:
+      return build_resnet18_lite(zoo, factory);
+  }
+  YOLOC_CHECK(false, "unknown backbone");
+  return nullptr;
+}
+
+const ParamSnapshot& TransferHarness::pretrained(Structure structure) {
+  std::optional<ParamSnapshot>* slot = nullptr;
+  switch (structure) {
+    case Structure::kPlain:
+      slot = &plain_snap_;
+      break;
+    case Structure::kReBranch:
+      slot = &rebranch_snap_;
+      break;
+    case Structure::kSpwd:
+      slot = &spwd_snap_;
+      break;
+  }
+  if (!slot->has_value()) {
+    LayerPtr model = build_model(structure, source_spec_.num_classes);
+    (void)train_classifier(*model, source_train_.images,
+                           source_train_.labels, setup_.pretrain_cfg);
+    if (structure == Structure::kPlain) {
+      source_accuracy_ = evaluate_classifier(*model, source_test_.images,
+                                             source_test_.labels);
+    }
+    *slot = snapshot_parameters(*model);
+  }
+  return slot->value();
+}
+
+double TransferHarness::source_accuracy() {
+  (void)pretrained(Structure::kPlain);
+  return source_accuracy_.value_or(0.0);
+}
+
+TransferOutcome TransferHarness::run(TransferOption opt,
+                                     const DatasetSpec& target) {
+  Rng rng(setup_.data_seed ^ 0xBEEF);
+  LabeledDataset train = generate_classification(
+      target, setup_.target_train_samples_per_class, rng);
+  LabeledDataset test = generate_classification(
+      target, setup_.target_test_samples_per_class, rng);
+
+  const Structure structure = structure_for(opt);
+  LayerPtr model = build_model(structure, target.num_classes);
+  restore_parameters(*model, pretrained(structure));
+  apply_transfer_policy(*model, opt);
+
+  TransferOutcome outcome;
+  outcome.option = opt;
+  outcome.target = target.name;
+
+  if (opt == TransferOption::kRosl) {
+    auto* seq = dynamic_cast<Sequential*>(model.get());
+    YOLOC_CHECK(seq != nullptr, "rosl: sequential model expected");
+    outcome.accuracy = evaluate_rosl(*seq, train, test);
+  } else {
+    (void)train_classifier(*model, train.images, train.labels,
+                           setup_.finetune_cfg);
+    outcome.accuracy =
+        evaluate_classifier(*model, test.images, test.labels);
+  }
+
+  outcome.split = deployment_split(*model, /*weight_bits=*/8,
+                                   setup_.spwd_decor_bits);
+  outcome.memory_area_mm2 = outcome.split.memory_area_mm2(
+      default_rom_macro().density_mb_per_mm2(),
+      default_sram_macro().density_mb_per_mm2());
+  return outcome;
+}
+
+}  // namespace yoloc

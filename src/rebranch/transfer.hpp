@@ -1,0 +1,85 @@
+#pragma once
+// Classification transfer-learning harness for the Fig. 10 / Fig. 11
+// experiments: pretrain a backbone on the source suite, freeze according
+// to a deployment option, fine-tune on a shifted target suite, report
+// accuracy + ROM/SRAM memory split.
+
+#include <optional>
+
+#include "data/classification.hpp"
+#include "nn/trainer.hpp"
+#include "rebranch/rebranch.hpp"
+
+namespace yoloc {
+
+enum class BackboneKind { kVgg8, kResNet18 };
+
+std::string backbone_name(BackboneKind kind);
+
+struct TransferSetup {
+  BackboneKind backbone = BackboneKind::kVgg8;
+  int image_size = 16;
+  int base_width = 8;
+  ReBranchConfig rebranch;
+  int spwd_decor_bits = 2;
+
+  int pretrain_samples_per_class = 40;
+  int target_train_samples_per_class = 30;
+  int target_test_samples_per_class = 25;
+
+  TrainConfig pretrain_cfg;
+  TrainConfig finetune_cfg;
+  std::uint64_t data_seed = 1234;
+
+  TransferSetup() {
+    pretrain_cfg.epochs = 12;
+    pretrain_cfg.batch_size = 32;
+    pretrain_cfg.sgd.lr = 0.08f;
+    finetune_cfg.epochs = 8;
+    finetune_cfg.batch_size = 32;
+    finetune_cfg.sgd.lr = 0.04f;
+  }
+};
+
+struct TransferOutcome {
+  TransferOption option = TransferOption::kAllSram;
+  std::string target;
+  double accuracy = 0.0;
+  DeploymentSplit split;
+  /// Memory area from the default ROM/SRAM-CiM macro densities [mm^2].
+  double memory_area_mm2 = 0.0;
+};
+
+/// Pretrains one source model per network structure (plain / rebranch /
+/// spwd) lazily, then evaluates deployment options on transfer targets.
+class TransferHarness {
+ public:
+  explicit TransferHarness(TransferSetup setup);
+
+  /// Run one (option, target) cell of Fig. 10/12's matrices.
+  TransferOutcome run(TransferOption opt, const DatasetSpec& target);
+
+  /// Source-suite validation accuracy of the pretrained plain model
+  /// (sanity metric).
+  double source_accuracy();
+
+  [[nodiscard]] const TransferSetup& setup() const { return setup_; }
+
+ private:
+  enum class Structure { kPlain, kReBranch, kSpwd };
+  [[nodiscard]] Structure structure_for(TransferOption opt) const;
+  LayerPtr build_model(Structure structure, int num_classes) const;
+  /// Pretrain (or reuse) the source snapshot for a structure.
+  const ParamSnapshot& pretrained(Structure structure);
+
+  TransferSetup setup_;
+  DatasetSpec source_spec_;
+  LabeledDataset source_train_;
+  LabeledDataset source_test_;
+  std::optional<ParamSnapshot> plain_snap_;
+  std::optional<ParamSnapshot> rebranch_snap_;
+  std::optional<ParamSnapshot> spwd_snap_;
+  std::optional<double> source_accuracy_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,75 @@
+#include "tensor/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+int signed_qmax(int bits) {
+  YOLOC_CHECK(bits >= 2 && bits <= 8, "signed quantization bits in [2,8]");
+  return (1 << (bits - 1)) - 1;
+}
+
+int unsigned_qmax(int bits) {
+  YOLOC_CHECK(bits >= 1 && bits <= 8, "unsigned quantization bits in [1,8]");
+  return (1 << bits) - 1;
+}
+
+QuantizedTensor quantize_symmetric(const Tensor& t, int bits) {
+  const int qmax = signed_qmax(bits);
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.data.resize(t.size());
+  const float amax = t.max_abs();
+  q.scale = amax > 0.0f ? amax / static_cast<float>(qmax) : 1.0f;
+  const float inv = 1.0f / q.scale;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const int v = static_cast<int>(std::lround(t[i] * inv));
+    q.data[i] = static_cast<std::int8_t>(std::clamp(v, -qmax, qmax));
+  }
+  return q;
+}
+
+QuantizedActivations quantize_unsigned(const Tensor& t, int bits) {
+  float mx = 0.0f;
+  for (std::size_t i = 0; i < t.size(); ++i) mx = std::max(mx, t[i]);
+  const int qmax = unsigned_qmax(bits);
+  const float scale = mx > 0.0f ? mx / static_cast<float>(qmax) : 1.0f;
+  return quantize_unsigned_with_scale(t, scale, bits);
+}
+
+QuantizedActivations quantize_unsigned_with_scale(const Tensor& t, float scale,
+                                                  int bits) {
+  YOLOC_CHECK(scale > 0.0f, "activation scale must be positive");
+  const int qmax = unsigned_qmax(bits);
+  QuantizedActivations q;
+  q.shape = t.shape();
+  q.scale = scale;
+  q.data.resize(t.size());
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const int v = static_cast<int>(std::lround(std::max(0.0f, t[i]) * inv));
+    q.data[i] = static_cast<std::uint8_t>(std::clamp(v, 0, qmax));
+  }
+  return q;
+}
+
+Tensor dequantize(const QuantizedTensor& q) {
+  Tensor t(q.shape);
+  for (std::size_t i = 0; i < q.data.size(); ++i) {
+    t[i] = static_cast<float>(q.data[i]) * q.scale;
+  }
+  return t;
+}
+
+Tensor dequantize(const QuantizedActivations& q) {
+  Tensor t(q.shape);
+  for (std::size_t i = 0; i < q.data.size(); ++i) {
+    t[i] = static_cast<float>(q.data[i]) * q.scale;
+  }
+  return t;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,112 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+namespace {
+
+std::size_t checked_element_count(const std::vector<int>& shape) {
+  YOLOC_CHECK(!shape.empty(), "tensor rank must be >= 1");
+  std::size_t n = 1;
+  for (int e : shape) {
+    YOLOC_CHECK(e > 0, "tensor extent must be positive");
+    n *= static_cast<std::size_t>(e);
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(checked_element_count(shape_), 0.0f) {}
+
+Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(std::vector<int> shape, Rng& rng, float lo,
+                            float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<int> shape, std::vector<float> values) {
+  const std::size_t n = checked_element_count(shape);
+  YOLOC_CHECK(values.size() == n, "value count does not match shape");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+int Tensor::extent(int axis) const {
+  YOLOC_CHECK(axis >= 0 && axis < rank(), "axis out of range");
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+float& Tensor::at2(int i, int j) {
+  YOLOC_CHECK(rank() == 2, "at2 requires rank-2 tensor");
+  YOLOC_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+              "at2 index out of range");
+  return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+}
+
+float Tensor::at2(int i, int j) const {
+  return const_cast<Tensor*>(this)->at2(i, j);
+}
+
+float& Tensor::at4(int n, int c, int h, int w) {
+  YOLOC_CHECK(rank() == 4, "at4 requires rank-4 tensor");
+  YOLOC_CHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] && h >= 0 &&
+                  h < shape_[2] && w >= 0 && w < shape_[3],
+              "at4 index out of range");
+  return data_[index4(n, c, h, w)];
+}
+
+float Tensor::at4(int n, int c, int h, int w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  const std::size_t n = checked_element_count(new_shape);
+  YOLOC_CHECK(n == size(), "reshape must preserve element count");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool same_shape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace yoloc

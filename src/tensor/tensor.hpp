@@ -1,0 +1,84 @@
+#pragma once
+// Dense float tensor used by the training/inference substrate.
+//
+// Layout is row-major over an arbitrary-rank shape; convolutional code
+// interprets rank-4 tensors as NCHW (batch, channel, height, width),
+// which keeps the inner-most loop over width contiguous.
+//
+// This is deliberately a plain owning container (no views, no strides):
+// the networks in this repository are small enough that copies are cheap,
+// and the absence of aliasing makes the hand-written backward passes easy
+// to audit.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace yoloc {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized tensor of the given shape. Rank must be >= 1 and
+  /// every extent positive.
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape);
+  static Tensor full(std::vector<int> shape, float value);
+  /// I.i.d. normal entries (mean 0) — used for weight init.
+  static Tensor randn(std::vector<int> shape, Rng& rng, float stddev = 1.0f);
+  /// Uniform entries in [lo, hi).
+  static Tensor rand_uniform(std::vector<int> shape, Rng& rng, float lo,
+                             float hi);
+  static Tensor from_vector(std::vector<int> shape, std::vector<float> values);
+
+  [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+  [[nodiscard]] int extent(int axis) const;
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::vector<float>& storage() { return data_; }
+  [[nodiscard]] const std::vector<float>& storage() const { return data_; }
+
+  /// Flat element access (bounds-checked in debug via vector::at semantics
+  /// only through at(); operator[] is unchecked for hot loops).
+  float operator[](std::size_t i) const { return data_[i]; }
+  float& operator[](std::size_t i) { return data_[i]; }
+
+  /// Checked rank-2 access.
+  [[nodiscard]] float& at2(int i, int j);
+  [[nodiscard]] float at2(int i, int j) const;
+  /// Checked rank-4 NCHW access.
+  [[nodiscard]] float& at4(int n, int c, int h, int w);
+  [[nodiscard]] float at4(int n, int c, int h, int w) const;
+
+  /// Unchecked rank-4 flat index (hot path).
+  [[nodiscard]] std::size_t index4(int n, int c, int h, int w) const {
+    return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+               shape_[3] +
+           w;
+  }
+
+  /// Same data, new shape (element count must match).
+  [[nodiscard]] Tensor reshaped(std::vector<int> new_shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Sum of all elements / max abs value — used by quantizer & tests.
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] float max_abs() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// True when shapes match exactly.
+bool same_shape(const Tensor& a, const Tensor& b);
+
+}  // namespace yoloc

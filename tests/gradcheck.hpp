@@ -1,0 +1,86 @@
+#pragma once
+// Numeric gradient checking helper shared by the layer tests.
+//
+// Builds the scalar loss L = sum(forward(x) * r) for a fixed random r,
+// computes analytic gradients via the layer's backward pass, and compares
+// them against central finite differences on a random subset of input and
+// parameter coordinates.
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc::testing_support {
+
+struct GradCheckResult {
+  float max_input_err = 0.0f;
+  float max_param_err = 0.0f;
+};
+
+inline double loss_of(Layer& layer, const Tensor& x, const Tensor& r) {
+  Tensor out = layer.forward(x, /*train=*/true);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) acc += out[i] * r[i];
+  return acc;
+}
+
+/// Relative-or-absolute error between analytic and numeric derivatives.
+inline float grad_err(float analytic, double numeric) {
+  const float denom = std::max(1.0f, std::fabs(analytic) +
+                                         static_cast<float>(std::fabs(numeric)));
+  return std::fabs(analytic - static_cast<float>(numeric)) / denom;
+}
+
+inline GradCheckResult gradcheck(Layer& layer, Tensor x, Rng& rng,
+                                 int probes = 12, float eps = 1e-2f) {
+  Tensor out = layer.forward(x, true);
+  Tensor r = Tensor::randn(out.shape(), rng);
+
+  // Analytic pass.
+  for (Parameter* p : layer.parameters()) p->zero_grad();
+  (void)layer.forward(x, true);
+  Tensor grad_x = layer.backward(r);
+
+  GradCheckResult res;
+
+  // Input coordinates.
+  for (int probe = 0; probe < probes; ++probe) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(x.size()) - 1));
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double lp = loss_of(layer, x, r);
+    x[i] = orig - eps;
+    const double lm = loss_of(layer, x, r);
+    x[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    res.max_input_err =
+        std::max(res.max_input_err, grad_err(grad_x[i], numeric));
+  }
+
+  // Parameter coordinates (re-run analytic pass to refresh caches).
+  for (Parameter* p : layer.parameters()) p->zero_grad();
+  (void)layer.forward(x, true);
+  (void)layer.backward(r);
+  for (Parameter* p : layer.parameters()) {
+    for (int probe = 0; probe < probes / 2 + 1; ++probe) {
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(p->value.size()) - 1));
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double lp = loss_of(layer, x, r);
+      p->value[i] = orig - eps;
+      const double lm = loss_of(layer, x, r);
+      p->value[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      res.max_param_err =
+          std::max(res.max_param_err, grad_err(p->grad[i], numeric));
+    }
+  }
+  return res;
+}
+
+}  // namespace yoloc::testing_support

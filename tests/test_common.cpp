@@ -1,0 +1,183 @@
+// Unit tests for the common substrate: RNG, units, table, parallel_for,
+// check macros.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace yoloc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int diffs = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a() != b()) ++diffs;
+  }
+  EXPECT_GT(diffs, 12);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.08);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Units, TopsPerWattIsOpsPerPicojoule) {
+  EXPECT_DOUBLE_EQ(tops_per_watt(100.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(tops_per_watt(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(tops_per_watt(100.0, 0.0), 0.0);
+}
+
+TEST(Units, GopsIsOpsPerNanosecond) {
+  EXPECT_DOUBLE_EQ(gops(256.0, 8.9), 256.0 / 8.9);
+}
+
+TEST(Units, DensityMbPerMm2) {
+  EXPECT_DOUBLE_EQ(mb_per_mm2(1.2e6, 0.24), 5.0);
+}
+
+TEST(Units, FormatSiPicksSuffix) {
+  EXPECT_EQ(format_si(1.25e9, 2), "1.25 G");
+  EXPECT_EQ(format_si(500.0, 0), "500 ");
+}
+
+TEST(Units, FormatFixedPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  TextTable t({"A", "B"});
+  t.add_row({"x", "y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| A"), std::string::npos);
+  EXPECT_NE(s.find("| x"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, NumericRowFormatting) {
+  TextTable t({"name", "v1", "v2"});
+  t.add_row("row", {1.5, 2.25}, 2);
+  EXPECT_NE(t.to_string().find("2.25"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(Parallel, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, HandlesZeroAndOne) {
+  std::atomic<int> count{0};
+  parallel_for(0, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(1, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    YOLOC_CHECK(false, "special-message");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("special-message"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, PassesOnTrue) {
+  EXPECT_NO_THROW(YOLOC_CHECK(true, "never"));
+}
+
+}  // namespace
+}  // namespace yoloc

@@ -1,0 +1,179 @@
+// Dataset synthesis tests: determinism, label structure, value ranges,
+// domain-shift knobs, and detection scene geometry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/classification.hpp"
+#include "data/detection.hpp"
+
+namespace yoloc {
+namespace {
+
+TEST(Patterns, IntensityInUnitRange) {
+  ClassRecipe r;
+  for (auto family :
+       {PatternFamily::kGrating, PatternFamily::kChecker, PatternFamily::kBlob,
+        PatternFamily::kRings, PatternFamily::kCross,
+        PatternFamily::kStripes}) {
+    r.family = family;
+    for (float y = -1.0f; y <= 1.0f; y += 0.23f) {
+      for (float x = -1.0f; x <= 1.0f; x += 0.23f) {
+        const float v = pattern_intensity(r, x, y);
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(Patterns, JitterIsBounded) {
+  ClassRecipe r;
+  r.jitter = 0.1f;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const ClassRecipe j = jitter_recipe(r, rng);
+    EXPECT_GT(j.freq, 0.0f);
+    EXPECT_GT(j.scale, 0.0f);
+  }
+}
+
+TEST(Patterns, RenderedPixelsInUnitRange) {
+  ClassRecipe r;
+  DomainStyle style;
+  style.noise_std = 0.2f;
+  Rng rng(2);
+  std::vector<float> img(3 * 8 * 8);
+  render_pattern(r, style, 8, 8, rng, img.data());
+  for (float v : img) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Classification, ShapesAndInterleavedLabels) {
+  const DatasetSpec spec = source_suite_spec(16);
+  Rng rng(3);
+  const LabeledDataset ds = generate_classification(spec, 4, rng);
+  EXPECT_EQ(ds.size(), spec.num_classes * 4);
+  EXPECT_EQ(ds.images.shape(),
+            (std::vector<int>{spec.num_classes * 4, 3, 16, 16}));
+  // Interleaving: the first num_classes samples cover all labels.
+  for (int c = 0; c < spec.num_classes; ++c) {
+    EXPECT_EQ(ds.labels[static_cast<std::size_t>(c)], c);
+  }
+}
+
+TEST(Classification, DeterministicForSameSeed) {
+  const DatasetSpec spec = cifar10_like_spec(16);
+  Rng a(7);
+  Rng b(7);
+  const LabeledDataset da = generate_classification(spec, 2, a);
+  const LabeledDataset db = generate_classification(spec, 2, b);
+  for (std::size_t i = 0; i < da.images.size(); ++i) {
+    EXPECT_FLOAT_EQ(da.images[i], db.images[i]);
+  }
+}
+
+TEST(Classification, SuiteSpecsDiffer) {
+  const auto src = source_suite_spec(16);
+  const auto tgt = caltech_like_spec(16);
+  EXPECT_NE(src.style.clutter, tgt.style.clutter);
+  EXPECT_NE(src.recipes[0].angle, tgt.recipes[0].angle);
+}
+
+TEST(Classification, AllTargetsPresent) {
+  const auto targets = all_transfer_targets(16);
+  ASSERT_EQ(targets.size(), 4u);
+  EXPECT_EQ(targets[0].name, "cifar10-like");
+  EXPECT_EQ(targets[1].name, "mnist-like");
+  EXPECT_EQ(targets[2].name, "fashion-like");
+  EXPECT_EQ(targets[3].name, "caltech-like");
+}
+
+TEST(Classification, MnistLikeCleanerThanCaltechLike) {
+  const auto mnist = mnist_like_spec(16);
+  const auto caltech = caltech_like_spec(16);
+  EXPECT_LT(mnist.style.noise_std, caltech.style.noise_std);
+  EXPECT_LT(mnist.recipes[0].jitter, caltech.recipes[0].jitter);
+}
+
+TEST(Detection, SceneShapesAndBoxes) {
+  const DetectionSpec spec = coco_like_spec(32);
+  Rng rng(4);
+  const DetectionDataset ds = generate_detection(spec, 10, rng);
+  EXPECT_EQ(ds.size(), 10);
+  EXPECT_EQ(ds.images.shape(), (std::vector<int>{10, 3, 32, 32}));
+  for (const auto& scene : ds.boxes) {
+    EXPECT_GE(scene.size(), 1u);
+    EXPECT_LE(scene.size(), static_cast<std::size_t>(spec.max_objects));
+    for (const auto& b : scene) {
+      EXPECT_GT(b.w, 0.0f);
+      EXPECT_GT(b.h, 0.0f);
+      EXPECT_GE(b.cx - b.w / 2, 0.0f);
+      EXPECT_LE(b.cx + b.w / 2, 1.0f);
+      EXPECT_GE(b.cy - b.h / 2, 0.0f);
+      EXPECT_LE(b.cy + b.h / 2, 1.0f);
+      EXPECT_GE(b.cls, 0);
+      EXPECT_LT(b.cls, kNumShapeClasses);
+    }
+  }
+}
+
+TEST(Detection, PedestrianSuiteSkewsTallBoxes) {
+  const DetectionSpec spec = pedestrian_like_spec(32);
+  Rng rng(5);
+  const DetectionDataset ds = generate_detection(spec, 60, rng);
+  int tall = 0;
+  int total = 0;
+  for (const auto& scene : ds.boxes) {
+    for (const auto& b : scene) {
+      ++total;
+      if (b.cls == static_cast<int>(ShapeClass::kTallBox)) ++tall;
+    }
+  }
+  EXPECT_GT(static_cast<double>(tall) / total, 0.5);
+}
+
+TEST(Detection, TallBoxesAreTall) {
+  const DetectionSpec spec = pedestrian_like_spec(32);
+  Rng rng(6);
+  const DetectionDataset ds = generate_detection(spec, 30, rng);
+  for (const auto& scene : ds.boxes) {
+    for (const auto& b : scene) {
+      if (b.cls == static_cast<int>(ShapeClass::kTallBox)) {
+        EXPECT_LT(b.w, b.h);
+      }
+    }
+  }
+}
+
+TEST(Detection, ObjectPixelsBrighterThanBackground) {
+  DetectionSpec spec = coco_like_spec(32);
+  spec.style.noise_std = 0.0f;
+  Rng rng(7);
+  const DetectionDataset ds = generate_detection(spec, 5, rng);
+  // Sample the center pixel of each box: should be brighter than the
+  // dim background (~0.15).
+  for (int n = 0; n < ds.size(); ++n) {
+    for (const auto& b : ds.boxes[static_cast<std::size_t>(n)]) {
+      const int cy = static_cast<int>(b.cy * 32);
+      const int cx = static_cast<int>(b.cx * 32);
+      float maxc = 0.0f;
+      for (int c = 0; c < 3; ++c) {
+        maxc = std::max(maxc, ds.images.at4(n, c, cy, cx));
+      }
+      EXPECT_GT(maxc, 0.3f);
+    }
+  }
+}
+
+TEST(Detection, SuiteStylesDiffer) {
+  const auto ped = pedestrian_like_spec(32);
+  const auto traffic = traffic_like_spec(32);
+  EXPECT_NE(ped.class_weights, traffic.class_weights);
+}
+
+}  // namespace
+}  // namespace yoloc

@@ -1,0 +1,163 @@
+// Detection-metric tests: IoU, decoding, NMS, AP/mAP on hand-built
+// precision-recall scenarios.
+
+#include <gtest/gtest.h>
+
+#include "eval/detection_metrics.hpp"
+
+namespace yoloc {
+namespace {
+
+DetBox make_det(float cx, float cy, float w, float h, int cls, float score) {
+  DetBox b;
+  b.cx = cx;
+  b.cy = cy;
+  b.w = w;
+  b.h = h;
+  b.cls = cls;
+  b.score = score;
+  return b;
+}
+
+GtBox make_gt(float cx, float cy, float w, float h, int cls) {
+  GtBox b;
+  b.cx = cx;
+  b.cy = cy;
+  b.w = w;
+  b.h = h;
+  b.cls = cls;
+  return b;
+}
+
+TEST(Iou, IdenticalBoxesGiveOne) {
+  EXPECT_NEAR(box_iou(0.5f, 0.5f, 0.2f, 0.2f, 0.5f, 0.5f, 0.2f, 0.2f), 1.0f,
+              1e-6);
+}
+
+TEST(Iou, DisjointBoxesGiveZero) {
+  EXPECT_FLOAT_EQ(box_iou(0.2f, 0.2f, 0.1f, 0.1f, 0.8f, 0.8f, 0.1f, 0.1f),
+                  0.0f);
+}
+
+TEST(Iou, HalfOverlap) {
+  // Two unit squares offset by half a side: intersection 0.5, union 1.5.
+  EXPECT_NEAR(box_iou(0.0f, 0.0f, 1.0f, 1.0f, 0.5f, 0.0f, 1.0f, 1.0f),
+              1.0f / 3.0f, 1e-6);
+}
+
+TEST(Nms, SuppressesSameClassOverlaps) {
+  std::vector<DetBox> boxes{
+      make_det(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f),
+      make_det(0.52f, 0.5f, 0.2f, 0.2f, 0, 0.7f),  // overlaps the first
+      make_det(0.2f, 0.2f, 0.1f, 0.1f, 0, 0.8f),
+  };
+  const auto kept = nms(boxes, 0.5f);
+  EXPECT_EQ(kept.size(), 2u);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.9f);
+}
+
+TEST(Nms, KeepsDifferentClassOverlaps) {
+  std::vector<DetBox> boxes{
+      make_det(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f),
+      make_det(0.5f, 0.5f, 0.2f, 0.2f, 1, 0.8f),
+  };
+  EXPECT_EQ(nms(boxes, 0.5f).size(), 2u);
+}
+
+TEST(Ap, PerfectDetectionsGiveOne) {
+  std::vector<std::vector<GtBox>> gt{{make_gt(0.5f, 0.5f, 0.2f, 0.2f, 0)}};
+  std::vector<std::vector<DetBox>> det{
+      {make_det(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f)}};
+  EXPECT_NEAR(average_precision(det, gt, 0), 1.0, 1e-9);
+}
+
+TEST(Ap, MissedGtHalvesRecall) {
+  std::vector<std::vector<GtBox>> gt{{
+      make_gt(0.3f, 0.3f, 0.2f, 0.2f, 0),
+      make_gt(0.7f, 0.7f, 0.2f, 0.2f, 0),
+  }};
+  std::vector<std::vector<DetBox>> det{
+      {make_det(0.3f, 0.3f, 0.2f, 0.2f, 0, 0.9f)}};
+  EXPECT_NEAR(average_precision(det, gt, 0), 0.5, 1e-9);
+}
+
+TEST(Ap, FalsePositiveBeforeTruePositiveLowersAp) {
+  std::vector<std::vector<GtBox>> gt{{make_gt(0.5f, 0.5f, 0.2f, 0.2f, 0)}};
+  // High-score FP, lower-score TP: precision at recall 1 is 0.5.
+  std::vector<std::vector<DetBox>> det{{
+      make_det(0.1f, 0.1f, 0.05f, 0.05f, 0, 0.95f),
+      make_det(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.5f),
+  }};
+  EXPECT_NEAR(average_precision(det, gt, 0), 0.5, 1e-9);
+}
+
+TEST(Ap, DuplicateDetectionCountsOnce) {
+  std::vector<std::vector<GtBox>> gt{{make_gt(0.5f, 0.5f, 0.2f, 0.2f, 0)}};
+  std::vector<std::vector<DetBox>> det{{
+      make_det(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f),
+      make_det(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.8f),  // duplicate
+  }};
+  // Recall maxes at 1 with precision envelope 1 up to recall 1.
+  EXPECT_NEAR(average_precision(det, gt, 0), 1.0, 1e-9);
+}
+
+TEST(Ap, AbsentClassReturnsSentinel) {
+  std::vector<std::vector<GtBox>> gt(1);
+  std::vector<std::vector<DetBox>> det(1);
+  EXPECT_LT(average_precision(det, gt, 0), 0.0);
+}
+
+TEST(Map, AveragesAcrossPresentClasses) {
+  std::vector<std::vector<GtBox>> gt{{
+      make_gt(0.3f, 0.3f, 0.2f, 0.2f, 0),
+      make_gt(0.7f, 0.7f, 0.2f, 0.2f, 1),
+  }};
+  std::vector<std::vector<DetBox>> det{{
+      make_det(0.3f, 0.3f, 0.2f, 0.2f, 0, 0.9f),  // class 0 perfect
+      // class 1 missed
+  }};
+  // AP(0)=1, AP(1)=0, classes 2/3 absent -> mAP = 0.5.
+  EXPECT_NEAR(mean_average_precision(det, gt, 4), 0.5, 1e-9);
+}
+
+TEST(Map, InUnitInterval) {
+  std::vector<std::vector<GtBox>> gt{{make_gt(0.5f, 0.5f, 0.3f, 0.3f, 2)}};
+  std::vector<std::vector<DetBox>> det{{
+      make_det(0.45f, 0.5f, 0.3f, 0.3f, 2, 0.6f),
+      make_det(0.2f, 0.2f, 0.1f, 0.1f, 1, 0.7f),
+  }};
+  const double map = mean_average_precision(det, gt, 4);
+  EXPECT_GE(map, 0.0);
+  EXPECT_LE(map, 1.0);
+}
+
+TEST(Decode, ReadsGridChannels) {
+  // One-cell grid, 2 classes: channels [tx,ty,tw,th,obj,c0,c1].
+  Tensor pred({1, 7, 1, 1});
+  pred.at4(0, 4, 0, 0) = 5.0f;   // high objectness
+  pred.at4(0, 5, 0, 0) = 3.0f;   // class 0 wins
+  const auto boxes = decode_grid(pred, 0, 2, 0.3f);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0].cls, 0);
+  EXPECT_NEAR(boxes[0].cx, 0.5f, 1e-5);  // sigmoid(0) = 0.5 within cell 0
+  EXPECT_GT(boxes[0].score, 0.5f);
+}
+
+TEST(Decode, ThresholdSuppressesLowObjectness) {
+  Tensor pred({1, 7, 2, 2});  // all-zero logits: obj = 0.5 everywhere
+  EXPECT_EQ(decode_grid(pred, 0, 2, 0.6f).size(), 0u);
+  EXPECT_EQ(decode_grid(pred, 0, 2, 0.4f).size(), 4u);
+}
+
+TEST(Map, ImprovesWithBetterPredictions) {
+  std::vector<std::vector<GtBox>> gt{{make_gt(0.5f, 0.5f, 0.3f, 0.3f, 0)}};
+  std::vector<std::vector<DetBox>> bad{
+      {make_det(0.8f, 0.8f, 0.1f, 0.1f, 0, 0.9f)}};
+  std::vector<std::vector<DetBox>> good{
+      {make_det(0.5f, 0.5f, 0.3f, 0.3f, 0, 0.9f)}};
+  EXPECT_GT(mean_average_precision(good, gt, 1),
+            mean_average_precision(bad, gt, 1));
+}
+
+}  // namespace
+}  // namespace yoloc

@@ -1,0 +1,186 @@
+// Loss function tests: cross-entropy values and gradients, grid
+// detection loss semantics and numeric gradients.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+namespace {
+
+TEST(Sigmoid, MatchesReference) {
+  EXPECT_NEAR(sigmoidf(0.0f), 0.5f, 1e-6);
+  EXPECT_NEAR(sigmoidf(100.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(sigmoidf(-100.0f), 0.0f, 1e-6);
+  EXPECT_NEAR(sigmoidf(1.0f), 1.0f / (1.0f + std::exp(-1.0f)), 1e-6);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({4, 8});
+  std::vector<int> labels{0, 1, 2, 3};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(res.value, std::log(8.0), 1e-5);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits({2, 3});
+  logits.at2(0, 1) = 50.0f;
+  logits.at2(1, 2) = 50.0f;
+  const LossResult res = softmax_cross_entropy(logits, {1, 2});
+  EXPECT_LT(res.value, 1e-4);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot) {
+  Rng rng(1);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  std::vector<int> labels{4, 0, 2};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  Tensor probs = softmax_rows(logits);
+  for (int b = 0; b < 3; ++b) {
+    for (int c = 0; c < 5; ++c) {
+      const float expect =
+          (probs.at2(b, c) - (labels[(std::size_t)b] == c ? 1.0f : 0.0f)) /
+          3.0f;
+      EXPECT_NEAR(res.grad.at2(b, c), expect, 1e-5);
+    }
+  }
+}
+
+TEST(CrossEntropy, NumericGradient) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn({2, 4}, rng);
+  std::vector<int> labels{3, 1};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (int b = 0; b < 2; ++b) {
+    for (int c = 0; c < 4; ++c) {
+      Tensor lp = logits;
+      lp.at2(b, c) += eps;
+      Tensor lm = logits;
+      lm.at2(b, c) -= eps;
+      const double num = (softmax_cross_entropy(lp, labels).value -
+                          softmax_cross_entropy(lm, labels).value) /
+                         (2.0 * eps);
+      EXPECT_NEAR(res.grad.at2(b, c), num, 2e-4);
+    }
+  }
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {5}), std::runtime_error);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::runtime_error);
+}
+
+GridLossConfig small_cfg() {
+  GridLossConfig cfg;
+  cfg.grid = 2;
+  cfg.classes = 3;
+  return cfg;
+}
+
+TEST(GridLoss, EmptySceneWantsZeroObjectness) {
+  const auto cfg = small_cfg();
+  Tensor pred({1, 8, 2, 2});
+  std::vector<std::vector<GtBox>> gt(1);
+  const LossResult res = grid_detection_loss(pred, gt, cfg);
+  // With zero logits, obj = 0.5 per cell: loss = 4 * lambda_noobj*log(2).
+  EXPECT_NEAR(res.value, 4.0 * cfg.lambda_noobj * std::log(2.0), 1e-4);
+  // Gradient pushes objectness down (positive gradient on obj logit).
+  EXPECT_GT(res.grad.at4(0, 4, 0, 0), 0.0f);
+}
+
+TEST(GridLoss, ResponsibleCellGetsBoxAndClassGradients) {
+  const auto cfg = small_cfg();
+  Tensor pred({1, 8, 2, 2});
+  GtBox box;
+  box.cx = 0.25f;  // cell (0,0) in a 2x2 grid
+  box.cy = 0.25f;
+  box.w = 0.3f;
+  box.h = 0.4f;
+  box.cls = 1;
+  std::vector<std::vector<GtBox>> gt{{box}};
+  const LossResult res = grid_detection_loss(pred, gt, cfg);
+  EXPECT_GT(res.value, 0.0);
+  // Objectness of the responsible cell is pushed up (negative gradient).
+  EXPECT_LT(res.grad.at4(0, 4, 0, 0), 0.0f);
+  // Class 1 logit pushed up, others down.
+  EXPECT_LT(res.grad.at4(0, 5 + 1, 0, 0), 0.0f);
+  EXPECT_GT(res.grad.at4(0, 5 + 0, 0, 0), 0.0f);
+  // Non-responsible cells get only objectness-down gradients.
+  EXPECT_GT(res.grad.at4(0, 4, 1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(res.grad.at4(0, 0, 1, 1), 0.0f);
+}
+
+TEST(GridLoss, NumericGradientOnRandomScene) {
+  const auto cfg = small_cfg();
+  Rng rng(3);
+  Tensor pred = Tensor::randn({1, 8, 2, 2}, rng);
+  GtBox box;
+  box.cx = 0.7f;
+  box.cy = 0.6f;
+  box.w = 0.25f;
+  box.h = 0.25f;
+  box.cls = 2;
+  std::vector<std::vector<GtBox>> gt{{box}};
+  const LossResult res = grid_detection_loss(pred, gt, cfg);
+  const float eps = 1e-3f;
+  for (int c = 0; c < 8; ++c) {
+    for (int gy = 0; gy < 2; ++gy) {
+      for (int gx = 0; gx < 2; ++gx) {
+        Tensor pp = pred;
+        pp.at4(0, c, gy, gx) += eps;
+        Tensor pm = pred;
+        pm.at4(0, c, gy, gx) -= eps;
+        const double num = (grid_detection_loss(pp, gt, cfg).value -
+                            grid_detection_loss(pm, gt, cfg).value) /
+                           (2.0 * eps);
+        EXPECT_NEAR(res.grad.at4(0, c, gy, gx), num, 5e-4)
+            << "channel " << c << " cell " << gy << "," << gx;
+      }
+    }
+  }
+}
+
+TEST(GridLoss, RejectsMismatchedShapes) {
+  const auto cfg = small_cfg();
+  Tensor pred({1, 7, 2, 2});  // wrong channel count
+  std::vector<std::vector<GtBox>> gt(1);
+  EXPECT_THROW(grid_detection_loss(pred, gt, cfg), std::runtime_error);
+}
+
+TEST(GridLoss, LowerLossForBetterPrediction) {
+  const auto cfg = small_cfg();
+  GtBox box;
+  box.cx = 0.25f;
+  box.cy = 0.25f;
+  box.w = 0.3f;
+  box.h = 0.3f;
+  box.cls = 0;
+  std::vector<std::vector<GtBox>> gt{{box}};
+
+  Tensor bad({1, 8, 2, 2});
+  Tensor good({1, 8, 2, 2});
+  good.at4(0, 4, 0, 0) = 6.0f;   // confident objectness
+  good.at4(0, 5, 0, 0) = 6.0f;   // right class
+  // tx=ty=sigmoid(0)=0.5 matches the box center; set size logits to the
+  // sigmoid-inverse of 0.3.
+  const float t = std::log(0.3f / 0.7f);
+  good.at4(0, 2, 0, 0) = t;
+  good.at4(0, 3, 0, 0) = t;
+  for (int gy = 0; gy < 2; ++gy) {
+    for (int gx = 0; gx < 2; ++gx) {
+      if (gx == 0 && gy == 0) continue;
+      good.at4(0, 4, gy, gx) = -6.0f;  // confident emptiness
+    }
+  }
+  EXPECT_LT(grid_detection_loss(good, gt, cfg).value,
+            grid_detection_loss(bad, gt, cfg).value);
+}
+
+}  // namespace
+}  // namespace yoloc

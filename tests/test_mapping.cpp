@@ -1,0 +1,141 @@
+// Mapping tests: conv -> MVM lowering and subarray tiling invariants
+// (full coverage, bounds, packing utilization).
+
+#include <gtest/gtest.h>
+
+#include "macro/macro_config.hpp"
+#include "mapping/weight_mapper.hpp"
+
+namespace yoloc {
+namespace {
+
+TEST(ConvMapping, ConvShapes) {
+  const MvmShape s = conv_to_mvm(64, 128, 3, 16, 16);
+  EXPECT_EQ(s.m, 128);
+  EXPECT_EQ(s.k, 64 * 9);
+  EXPECT_EQ(s.vectors, 256);
+  EXPECT_DOUBLE_EQ(s.weight_count(), 128.0 * 576.0);
+  EXPECT_DOUBLE_EQ(s.macs(), 128.0 * 576.0 * 256.0);
+}
+
+TEST(ConvMapping, FcShapes) {
+  const MvmShape s = fc_to_mvm(512, 100);
+  EXPECT_EQ(s.m, 100);
+  EXPECT_EQ(s.k, 512);
+  EXPECT_EQ(s.vectors, 1);
+}
+
+TEST(ConvMapping, RejectsBadGeometry) {
+  EXPECT_THROW(conv_to_mvm(0, 1, 3, 4, 4), std::runtime_error);
+  EXPECT_THROW(fc_to_mvm(1, 0), std::runtime_error);
+}
+
+MacroGeometry geom() { return default_rom_macro().geometry; }
+
+double tile_weight_sum(const MappingPlan& plan) {
+  double sum = 0.0;
+  for (const auto& t : plan.tiles) {
+    sum += static_cast<double>(t.k_size) * t.m_size;
+  }
+  return sum;
+}
+
+TEST(WeightMapper, SingleSmallLayerFitsOneSubarray) {
+  const WeightMapper mapper(geom());
+  std::vector<LayerMvm> layers{{0, "small", conv_to_mvm(8, 16, 3, 4, 4)}};
+  const MappingPlan plan = mapper.map(layers, MappingStrategy::kDedicated);
+  // k = 72 <= 128 rows, m = 16 <= 32 weights per row.
+  EXPECT_EQ(plan.subarrays_used, 1);
+  EXPECT_DOUBLE_EQ(tile_weight_sum(plan), 72.0 * 16.0);
+}
+
+TEST(WeightMapper, TallLayerSpansRowTiles) {
+  const WeightMapper mapper(geom());
+  // k = 2304 -> 18 row tiles of 128.
+  std::vector<LayerMvm> layers{{0, "tall", conv_to_mvm(256, 16, 3, 4, 4)}};
+  const MappingPlan plan = mapper.map(layers, MappingStrategy::kDedicated);
+  EXPECT_EQ(plan.subarrays_used, 18);
+  EXPECT_DOUBLE_EQ(tile_weight_sum(plan), 2304.0 * 16.0);
+}
+
+TEST(WeightMapper, WideLayerSpansColumnStrips) {
+  const WeightMapper mapper(geom());
+  // m = 128 -> 4 column strips of 32.
+  std::vector<LayerMvm> layers{{0, "wide", conv_to_mvm(8, 128, 3, 4, 4)}};
+  const MappingPlan plan = mapper.map(layers, MappingStrategy::kDedicated);
+  EXPECT_EQ(plan.subarrays_used, 4);
+  EXPECT_DOUBLE_EQ(tile_weight_sum(plan), 72.0 * 128.0);
+}
+
+TEST(WeightMapper, TilesRespectBounds) {
+  const WeightMapper mapper(geom());
+  std::vector<LayerMvm> layers{
+      {0, "a", conv_to_mvm(64, 100, 3, 8, 8)},
+      {1, "b", conv_to_mvm(32, 48, 1, 8, 8)},
+  };
+  for (auto strategy :
+       {MappingStrategy::kDedicated, MappingStrategy::kPacked}) {
+    const MappingPlan plan = mapper.map(layers, strategy);
+    for (const auto& t : plan.tiles) {
+      EXPECT_GT(t.k_size, 0);
+      EXPECT_LE(t.k_size, mapper.rows());
+      EXPECT_GT(t.m_size, 0);
+      EXPECT_LE(t.col_offset + t.m_size, mapper.weights_per_row());
+      EXPECT_GE(t.subarray, 0);
+      EXPECT_LT(t.subarray, plan.subarrays_used);
+    }
+  }
+}
+
+TEST(WeightMapper, PackedImprovesUtilizationForNarrowLayers) {
+  const WeightMapper mapper(geom());
+  // Many narrow layers (m = 8 of 32 weight columns).
+  std::vector<LayerMvm> layers;
+  for (int i = 0; i < 8; ++i) {
+    layers.push_back({i, "narrow", conv_to_mvm(16, 8, 3, 4, 4)});
+  }
+  const MappingPlan dedicated =
+      mapper.map(layers, MappingStrategy::kDedicated);
+  const MappingPlan packed = mapper.map(layers, MappingStrategy::kPacked);
+  EXPECT_LT(packed.subarrays_used, dedicated.subarrays_used);
+  EXPECT_GT(packed.utilization, dedicated.utilization);
+  // Both cover all weights exactly once.
+  EXPECT_DOUBLE_EQ(tile_weight_sum(dedicated), tile_weight_sum(packed));
+}
+
+TEST(WeightMapper, UtilizationInUnitRange) {
+  const WeightMapper mapper(geom());
+  std::vector<LayerMvm> layers{{0, "x", conv_to_mvm(3, 5, 3, 2, 2)}};
+  const MappingPlan plan = mapper.map(layers, MappingStrategy::kPacked);
+  EXPECT_GT(plan.utilization, 0.0);
+  EXPECT_LE(plan.utilization, 1.0);
+}
+
+struct MapCase {
+  int in_ch, out_ch, kernel;
+};
+
+class MapperProperty : public ::testing::TestWithParam<MapCase> {};
+
+TEST_P(MapperProperty, CoverageExactUnderBothStrategies) {
+  const auto c = GetParam();
+  const WeightMapper mapper(geom());
+  const MvmShape shape = conv_to_mvm(c.in_ch, c.out_ch, c.kernel, 4, 4);
+  std::vector<LayerMvm> layers{{0, "l", shape}};
+  for (auto strategy :
+       {MappingStrategy::kDedicated, MappingStrategy::kPacked}) {
+    const MappingPlan plan = mapper.map(layers, strategy);
+    EXPECT_DOUBLE_EQ(tile_weight_sum(plan), shape.weight_count());
+    EXPECT_EQ(plan.tiles_per_layer[0],
+              ((shape.k + 127) / 128) * ((shape.m + 31) / 32));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MapperProperty,
+    ::testing::Values(MapCase{1, 1, 1}, MapCase{3, 16, 3}, MapCase{64, 64, 3},
+                      MapCase{128, 32, 1}, MapCase{17, 33, 3},
+                      MapCase{256, 512, 3}, MapCase{100, 7, 5}));
+
+}  // namespace
+}  // namespace yoloc

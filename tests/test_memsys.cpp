@@ -1,0 +1,135 @@
+// Memory-system model tests: cacti-lite scaling laws, DRAM streaming,
+// chiplet link, NoC.
+
+#include <gtest/gtest.h>
+
+#include "memsys/chiplet_link.hpp"
+#include "memsys/dram.hpp"
+#include "memsys/noc.hpp"
+#include "memsys/sram_buffer.hpp"
+
+namespace yoloc {
+namespace {
+
+TEST(SramBuffer, EnergyScalesWithSqrtCapacity) {
+  SramBufferParams small;
+  small.capacity_kb = 64.0;
+  SramBufferParams big = small;
+  big.capacity_kb = 256.0;  // 4x capacity -> 2x energy per access
+  const SramBuffer a(small);
+  const SramBuffer b(big);
+  EXPECT_NEAR(b.access_energy_pj(8.0) / a.access_energy_pj(8.0), 2.0, 1e-6);
+  EXPECT_NEAR(b.access_latency_ns() / a.access_latency_ns(), 2.0, 1e-6);
+}
+
+TEST(SramBuffer, AnchorPoint) {
+  SramBufferParams p;
+  p.capacity_kb = 64.0;
+  const SramBuffer buf(p);
+  // 64-bit (8-byte) access at the anchor = anchor energy.
+  EXPECT_NEAR(buf.access_energy_pj(8.0), p.anchor_energy_pj, 1e-9);
+  EXPECT_NEAR(buf.access_latency_ns(), p.anchor_latency_ns, 1e-9);
+}
+
+TEST(SramBuffer, AreaAndLeakageGrowWithCapacity) {
+  SramBufferParams small;
+  small.capacity_kb = 32.0;
+  SramBufferParams big = small;
+  big.capacity_kb = 512.0;
+  EXPECT_LT(SramBuffer(small).area_mm2(), SramBuffer(big).area_mm2());
+  EXPECT_LT(SramBuffer(small).leakage_uw(), SramBuffer(big).leakage_uw());
+}
+
+TEST(SramBuffer, StreamTimeLinearInBytes) {
+  SramBufferParams p;
+  const SramBuffer buf(p);
+  EXPECT_NEAR(buf.stream_time_ns(2048) / buf.stream_time_ns(1024), 2.0, 1e-9);
+}
+
+TEST(SramBuffer, RejectsZeroCapacity) {
+  SramBufferParams p;
+  p.capacity_kb = 0.0;
+  EXPECT_THROW(SramBuffer{p}, std::runtime_error);
+}
+
+TEST(Dram, EnergyPerBitDominatesLargeTransfers) {
+  DramParams p;
+  const Dram dram(p);
+  const double bytes = 1e6;
+  const double energy = dram.stream_energy_pj(bytes);
+  // At least the pure transfer energy.
+  EXPECT_GE(energy, bytes * 8.0 * p.energy_pj_per_bit);
+  // Background adds less than 50% at this size.
+  EXPECT_LT(energy, 1.5 * bytes * 8.0 * p.energy_pj_per_bit);
+}
+
+TEST(Dram, ZeroBytesCostNothing) {
+  const Dram dram(DramParams{});
+  EXPECT_DOUBLE_EQ(dram.stream_energy_pj(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dram.stream_time_ns(0.0), 0.0);
+}
+
+TEST(Dram, TimeIncludesFirstAccessLatency) {
+  DramParams p;
+  const Dram dram(p);
+  EXPECT_GT(dram.stream_time_ns(1.0), p.first_access_latency_ns);
+  // Bandwidth-dominated regime: 12.8 GB/s -> 12.8 bytes/ns.
+  const double t = dram.stream_time_ns(12.8e6);
+  EXPECT_NEAR(t - p.first_access_latency_ns, 1e6, 1.0);
+}
+
+TEST(Dram, EnergyMonotoneInTraffic) {
+  const Dram dram(DramParams{});
+  double prev = 0.0;
+  for (double bytes = 1e3; bytes <= 1e9; bytes *= 10) {
+    const double e = dram.stream_energy_pj(bytes);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(ChipletLink, SimbaScaleEnergy) {
+  ChipletLinkParams p;  // 1.17 pJ/b
+  const ChipletLink link(p);
+  EXPECT_NEAR(link.transfer_energy_pj(1.0), 8.0 * 1.17, 1e-9);
+}
+
+TEST(ChipletLink, BandwidthFromPins) {
+  ChipletLinkParams p;
+  p.gbps_per_pin = 25.0;
+  p.pins = 32;
+  const ChipletLink link(p);
+  EXPECT_NEAR(link.bandwidth_gb_per_s(), 100.0, 1e-9);
+}
+
+TEST(ChipletLink, TimeHasHopLatency) {
+  const ChipletLink link(ChipletLinkParams{});
+  EXPECT_DOUBLE_EQ(link.transfer_time_ns(0.0), 0.0);
+  EXPECT_GT(link.transfer_time_ns(1.0), 19.9);
+}
+
+TEST(Noc, EnergyGrowsWithDieSize) {
+  const Noc noc(NocParams{});
+  EXPECT_LT(noc.transfer_energy_pj(1024, 1.0),
+            noc.transfer_energy_pj(1024, 100.0));
+}
+
+TEST(Noc, EnergyLinearInBytes) {
+  const Noc noc(NocParams{});
+  EXPECT_NEAR(noc.transfer_energy_pj(2048, 4.0) /
+                  noc.transfer_energy_pj(1024, 4.0),
+              2.0, 1e-9);
+}
+
+TEST(Noc, DramFarMoreExpensiveThanNocPerByte) {
+  // The premise of the whole paper: off-chip movement dwarfs on-chip.
+  const Noc noc(NocParams{});
+  const Dram dram(DramParams{});
+  const double bytes = 1e5;
+  EXPECT_GT(dram.stream_energy_pj(bytes) /
+                noc.transfer_energy_pj(bytes, 1.0),
+            20.0);
+}
+
+}  // namespace
+}  // namespace yoloc

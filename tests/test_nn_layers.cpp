@@ -1,0 +1,335 @@
+// Layer tests: output shapes, hand-computed values, numeric gradient
+// checks for every differentiable layer, and container semantics.
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/container.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace yoloc {
+namespace {
+
+using testing_support::gradcheck;
+
+constexpr float kGradTol = 5e-3f;
+
+TEST(Conv2d, OutputShapeSamePadding) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, -1, true, rng);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8, 8, 8}));
+}
+
+TEST(Conv2d, OutputShapeStride2) {
+  Rng rng(2);
+  Conv2d conv(4, 6, 3, 2, 1, false, rng);
+  Tensor x = Tensor::randn({1, 4, 8, 8}, rng);
+  EXPECT_EQ(conv.forward(x, true).shape(), (std::vector<int>{1, 6, 4, 4}));
+}
+
+TEST(Conv2d, HandComputed1x1) {
+  Rng rng(3);
+  Conv2d conv(1, 1, 1, 1, 0, false, rng);
+  conv.weight().value[0] = 2.0f;
+  Tensor x = Tensor::full({1, 1, 2, 2}, 3.0f);
+  Tensor y = conv.forward(x, true);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 6.0f);
+}
+
+TEST(Conv2d, BiasApplied) {
+  Rng rng(4);
+  Conv2d conv(1, 2, 1, 1, 0, true, rng);
+  conv.weight().value.zero();
+  conv.bias().value[0] = 1.5f;
+  conv.bias().value[1] = -0.5f;
+  Tensor x = Tensor::randn({1, 1, 3, 3}, rng);
+  Tensor y = conv.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 1.5f);
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 1, 1), -0.5f);
+}
+
+TEST(Conv2d, GradCheck) {
+  Rng rng(5);
+  Conv2d conv(2, 3, 3, 1, 1, true, rng);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  const auto res = gradcheck(conv, x, rng);
+  EXPECT_LT(res.max_input_err, kGradTol);
+  EXPECT_LT(res.max_param_err, kGradTol);
+}
+
+TEST(Conv2d, GradCheckStride2NoBias) {
+  Rng rng(6);
+  Conv2d conv(3, 2, 3, 2, 1, false, rng);
+  Tensor x = Tensor::randn({1, 3, 6, 6}, rng);
+  const auto res = gradcheck(conv, x, rng);
+  EXPECT_LT(res.max_input_err, kGradTol);
+  EXPECT_LT(res.max_param_err, kGradTol);
+}
+
+TEST(Conv2d, PointwiseFactory) {
+  Rng rng(7);
+  LayerPtr pw = make_pointwise(8, 4, rng);
+  Tensor x = Tensor::randn({1, 8, 4, 4}, rng);
+  EXPECT_EQ(pw->forward(x, true).shape(), (std::vector<int>{1, 4, 4, 4}));
+}
+
+TEST(Conv2d, RejectsWrongChannels) {
+  Rng rng(8);
+  Conv2d conv(3, 4, 3, 1, 1, false, rng);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  EXPECT_THROW(conv.forward(x, true), std::runtime_error);
+}
+
+TEST(Linear, HandComputed) {
+  Rng rng(9);
+  Linear lin(2, 2, true, rng);
+  lin.weight().value = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  lin.bias().value = Tensor::from_vector({2}, {0.5f, -0.5f});
+  Tensor x = Tensor::from_vector({1, 2}, {1.0f, 1.0f});
+  Tensor y = lin.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 3.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 6.5f);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(10);
+  Linear lin(6, 4, true, rng);
+  Tensor x = Tensor::randn({3, 6}, rng);
+  const auto res = gradcheck(lin, x, rng);
+  EXPECT_LT(res.max_input_err, kGradTol);
+  EXPECT_LT(res.max_param_err, kGradTol);
+}
+
+TEST(ReLU, ForwardAndMask) {
+  ReLU relu;
+  Tensor x = Tensor::from_vector({4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  Tensor g = relu.backward(Tensor::full({4}, 1.0f));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[2], 1.0f);
+}
+
+TEST(LeakyReLU, NegativeSlope) {
+  LeakyReLU leaky(0.1f);
+  Tensor x = Tensor::from_vector({2}, {-2.0f, 4.0f});
+  Tensor y = leaky.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], 4.0f);
+  Tensor g = leaky.backward(Tensor::full({2}, 1.0f));
+  EXPECT_FLOAT_EQ(g[0], 0.1f);
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+}
+
+TEST(LeakyReLU, GradCheck) {
+  Rng rng(11);
+  LeakyReLU leaky(0.1f);
+  // Keep inputs away from the kink for finite differences.
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng, 2.0f);
+  const auto res = gradcheck(leaky, x, rng);
+  EXPECT_LT(res.max_input_err, 2e-2f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flat;
+  Rng rng(12);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 48}));
+  Tensor g = flat.backward(y);
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(MaxPool, ForwardSelectsMax) {
+  MaxPool2d pool(2);
+  Tensor x = Tensor::from_vector({1, 1, 2, 2}, {1, 5, 3, 2});
+  Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x = Tensor::from_vector({1, 1, 2, 2}, {1, 5, 3, 2});
+  (void)pool.forward(x, true);
+  Tensor g = pool.backward(Tensor::full({1, 1, 1, 1}, 2.0f));
+  EXPECT_FLOAT_EQ(g[1], 2.0f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(MaxPool, RejectsIndivisibleExtent) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 3, 3});
+  EXPECT_THROW(pool.forward(x, true), std::runtime_error);
+}
+
+TEST(GlobalAvgPool, ForwardMean) {
+  GlobalAvgPool gap;
+  Tensor x = Tensor::from_vector({1, 2, 1, 2}, {1, 3, 10, 20});
+  Tensor y = gap.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 15.0f);
+}
+
+TEST(GlobalAvgPool, BackwardSpreadsUniformly) {
+  GlobalAvgPool gap;
+  Rng rng(13);
+  Tensor x = Tensor::randn({1, 1, 2, 2}, rng);
+  (void)gap.forward(x, true);
+  Tensor g = gap.backward(Tensor::full({1, 1}, 4.0f));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 1.0f);
+}
+
+TEST(BatchNorm, NormalizesTrainingBatch) {
+  Rng rng(14);
+  BatchNorm2d bn(3);
+  Tensor x = Tensor::randn({8, 3, 4, 4}, rng, 3.0f);
+  Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1.
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (int n = 0; n < 8; ++n) {
+      for (int i = 0; i < 16; ++i) {
+        const float v = y.data()[y.index4(n, c, i / 4, i % 4)];
+        sum += v;
+        sum2 += v * v;
+      }
+    }
+    const double mean = sum / (8 * 16);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sum2 / (8 * 16) - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  Rng rng(15);
+  BatchNorm2d bn(2);
+  Tensor x = Tensor::randn({16, 2, 2, 2}, rng);
+  for (int i = 0; i < 20; ++i) (void)bn.forward(x, true);
+  Tensor y_eval = bn.forward(x, false);
+  Tensor y_train = bn.forward(x, true);
+  // After many identical batches the running stats converge to the batch
+  // stats, so eval ~ train.
+  EXPECT_LT(max_abs_diff(y_eval, y_train), 0.15f);
+}
+
+TEST(BatchNorm, GradCheck) {
+  Rng rng(16);
+  BatchNorm2d bn(2);
+  Tensor x = Tensor::randn({4, 2, 3, 3}, rng);
+  const auto res = gradcheck(bn, x, rng, /*probes=*/10, /*eps=*/1e-2f);
+  EXPECT_LT(res.max_input_err, 1e-2f);
+  EXPECT_LT(res.max_param_err, 1e-2f);
+}
+
+TEST(Sequential, ChainsAndBackprops) {
+  Rng rng(17);
+  auto seq = std::make_unique<Sequential>("test");
+  seq->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false, rng, "c1"));
+  seq->add(std::make_unique<ReLU>());
+  seq->add(std::make_unique<Conv2d>(2, 1, 3, 1, 1, false, rng, "c2"));
+  Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  const auto res = gradcheck(*seq, x, rng);
+  EXPECT_LT(res.max_input_err, kGradTol);
+  EXPECT_LT(res.max_param_err, 2e-2f);  // ReLU kink tolerance
+}
+
+TEST(Sequential, ChildrenAndReplace) {
+  Rng rng(18);
+  Sequential seq("s");
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<Identity>());
+  EXPECT_EQ(seq.children().size(), 2u);
+  LayerPtr old = seq.replace_child(1, std::make_unique<ReLU>());
+  EXPECT_NE(dynamic_cast<Identity*>(old.get()), nullptr);
+  LayerPtr removed = seq.remove(0);
+  EXPECT_EQ(seq.size(), 1u);
+}
+
+TEST(ParallelSum, SumsAndSplitsGradient) {
+  Rng rng(19);
+  auto sum = std::make_unique<ParallelSum>("p");
+  sum->add_branch(std::make_unique<Identity>());
+  sum->add_branch(std::make_unique<Identity>());
+  Tensor x = Tensor::full({1, 2}, 3.0f);
+  Tensor y = sum->forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  Tensor g = sum->backward(Tensor::full({1, 2}, 1.0f));
+  EXPECT_FLOAT_EQ(g[0], 2.0f);  // both branches contribute
+}
+
+TEST(ParallelSum, GradCheckTrunkPlusBranch) {
+  Rng rng(20);
+  auto sum = std::make_unique<ParallelSum>("rb");
+  sum->add_branch(std::make_unique<Conv2d>(2, 3, 3, 1, 1, false, rng, "t"));
+  auto branch = std::make_unique<Sequential>("b");
+  branch->add(std::make_unique<Conv2d>(2, 1, 1, 1, 0, false, rng, "comp"));
+  branch->add(std::make_unique<Conv2d>(1, 1, 3, 1, 1, false, rng, "res"));
+  branch->add(std::make_unique<Conv2d>(1, 3, 1, 1, 0, false, rng, "dec"));
+  sum->add_branch(std::move(branch));
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  const auto res = gradcheck(*sum, x, rng);
+  EXPECT_LT(res.max_input_err, kGradTol);
+  EXPECT_LT(res.max_param_err, kGradTol);
+}
+
+TEST(ParallelSum, RejectsMismatchedBranchShapes) {
+  Rng rng(21);
+  ParallelSum sum("bad");
+  sum.add_branch(std::make_unique<Conv2d>(2, 3, 3, 1, 1, false, rng, "a"));
+  sum.add_branch(std::make_unique<Conv2d>(2, 4, 3, 1, 1, false, rng, "b"));
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  EXPECT_THROW(sum.forward(x, true), std::runtime_error);
+}
+
+TEST(Residual, IdentitySkip) {
+  Rng rng(22);
+  LayerPtr block = make_residual(std::make_unique<ReLU>());
+  Tensor x = Tensor::from_vector({1, 2}, {-1.0f, 2.0f});
+  Tensor y = block->forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);  // relu(-1)=0 + skip(-1)
+  EXPECT_FLOAT_EQ(y[1], 4.0f);   // relu(2)=2 + skip(2)
+}
+
+TEST(ParameterCount, CountsAndTrainableFilter) {
+  Rng rng(23);
+  Sequential seq("s");
+  seq.add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, true, rng, "c"));
+  // weight 2*9=18 + bias 2 = 20
+  EXPECT_EQ(parameter_count(seq), 20u);
+  for (Parameter* p : seq.parameters()) p->trainable = false;
+  EXPECT_EQ(parameter_count(seq, /*trainable_only=*/true), 0u);
+}
+
+struct ConvCase {
+  int in_ch, out_ch, kernel, stride;
+};
+
+class ConvGradProperty : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradProperty, GradientsMatchNumeric) {
+  const auto c = GetParam();
+  Rng rng(200 + c.in_ch + c.out_ch * 10 + c.kernel * 100);
+  Conv2d conv(c.in_ch, c.out_ch, c.kernel, c.stride, -1, true, rng);
+  Tensor x = Tensor::randn({1, c.in_ch, 6, 6}, rng);
+  const auto res = gradcheck(conv, x, rng, /*probes=*/8);
+  EXPECT_LT(res.max_input_err, kGradTol);
+  EXPECT_LT(res.max_param_err, kGradTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGradProperty,
+    ::testing::Values(ConvCase{1, 1, 1, 1}, ConvCase{2, 4, 1, 1},
+                      ConvCase{3, 2, 3, 1}, ConvCase{2, 2, 3, 2},
+                      ConvCase{4, 3, 5, 1}, ConvCase{1, 6, 3, 3}));
+
+}  // namespace
+}  // namespace yoloc

@@ -1,0 +1,261 @@
+// ReBranch tests: factory structure, freezing policies, deployment
+// splits, snapshot/restore, QAT decoration and ROSL.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "data/classification.hpp"
+#include "nn/zoo.hpp"
+#include "rebranch/qat_conv.hpp"
+#include "rebranch/rebranch.hpp"
+#include "rebranch/rosl.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+namespace {
+
+ZooConfig tiny_zoo() {
+  ZooConfig cfg;
+  cfg.image_size = 16;
+  cfg.base_width = 4;
+  cfg.num_classes = 4;
+  return cfg;
+}
+
+TEST(ReBranchFactory, ProducesTrunkAndBranchNames) {
+  const ReBranchConfig cfg{4, 4};
+  LayerPtr net = build_vgg8_lite(tiny_zoo(), make_rebranch_factory(cfg));
+  int trunks = 0;
+  int resconvs = 0;
+  int comps = 0;
+  for (Parameter* p : net->parameters()) {
+    if (p->name.find(".trunk") != std::string::npos) ++trunks;
+    if (p->name.find(".resconv") != std::string::npos) ++resconvs;
+    if (p->name.find(".rescomp") != std::string::npos) ++comps;
+  }
+  EXPECT_EQ(trunks, 6);
+  EXPECT_EQ(resconvs, 6);
+  EXPECT_EQ(comps, 6);
+}
+
+TEST(ReBranchFactory, OutputShapeMatchesPlain) {
+  Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  LayerPtr plain = build_vgg8_lite(tiny_zoo(), plain_conv_unit);
+  LayerPtr rb =
+      build_vgg8_lite(tiny_zoo(), make_rebranch_factory(ReBranchConfig{2, 2}));
+  EXPECT_EQ(plain->forward(x, true).shape(), rb->forward(x, true).shape());
+}
+
+TEST(ReBranchFactory, BranchParameterFraction) {
+  const ReBranchConfig cfg{4, 4};
+  LayerPtr net = build_vgg8_lite(tiny_zoo(), make_rebranch_factory(cfg));
+  double trunk = 0.0;
+  double resconv = 0.0;
+  for (Parameter* p : net->parameters()) {
+    if (p->name.find(".trunk") != std::string::npos) trunk += p->value.size();
+    if (p->name.find(".resconv") != std::string::npos) {
+      resconv += p->value.size();
+    }
+  }
+  // With width 4 the channel floors bite, but the branch must still be
+  // far smaller than the trunk.
+  EXPECT_LT(resconv, 0.4 * trunk);
+}
+
+TEST(ReBranchFactory, StrideCarriedByResConv) {
+  Rng rng(2);
+  const ReBranchConfig cfg{2, 2};
+  const ConvUnitFactory factory = make_rebranch_factory(cfg);
+  ConvSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 8;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.pad = 1;
+  spec.name = "backbone.s";
+  LayerPtr unit = factory(spec, rng);
+  Tensor x = Tensor::randn({1, 8, 8, 8}, rng);
+  EXPECT_EQ(unit->forward(x, true).shape(), (std::vector<int>{1, 8, 4, 4}));
+}
+
+TEST(Policies, AllSramEverythingTrainable) {
+  LayerPtr net = build_vgg8_lite(tiny_zoo(), plain_conv_unit);
+  apply_transfer_policy(*net, TransferOption::kAllSram);
+  for (Parameter* p : net->parameters()) {
+    EXPECT_TRUE(p->trainable);
+    EXPECT_FALSE(p->rom_resident);
+  }
+}
+
+TEST(Policies, AllRomFreezesBackboneOnly) {
+  LayerPtr net = build_vgg8_lite(tiny_zoo(), plain_conv_unit);
+  apply_transfer_policy(*net, TransferOption::kAllRom);
+  for (Parameter* p : net->parameters()) {
+    const bool backbone = p->name.find("backbone") != std::string::npos;
+    EXPECT_EQ(p->trainable, !backbone) << p->name;
+    EXPECT_EQ(p->rom_resident, backbone) << p->name;
+  }
+}
+
+TEST(Policies, DeepConvUnfreezesDeepestBackboneConv) {
+  LayerPtr net = build_vgg8_lite(tiny_zoo(), plain_conv_unit);
+  apply_transfer_policy(*net, TransferOption::kDeepConv);
+  bool deep_trainable = false;
+  bool shallow_frozen = false;
+  for (Parameter* p : net->parameters()) {
+    if (p->name.find("backbone.stage2.conv2") != std::string::npos &&
+        p->trainable) {
+      deep_trainable = true;
+    }
+    if (p->name.find("backbone.stage0.conv1") != std::string::npos &&
+        !p->trainable) {
+      shallow_frozen = true;
+    }
+  }
+  EXPECT_TRUE(deep_trainable);
+  EXPECT_TRUE(shallow_frozen);
+}
+
+TEST(Policies, ReBranchFreezesTrunkTrainsResConv) {
+  LayerPtr net = build_vgg8_lite(
+      tiny_zoo(), make_rebranch_factory(ReBranchConfig{4, 4}));
+  apply_transfer_policy(*net, TransferOption::kReBranch);
+  for (Parameter* p : net->parameters()) {
+    const bool trunk = p->name.find(".trunk") != std::string::npos;
+    const bool fixedpw = p->name.find(".rescomp") != std::string::npos ||
+                         p->name.find(".resdecomp") != std::string::npos;
+    const bool resconv = p->name.find(".resconv") != std::string::npos;
+    if (trunk || fixedpw) {
+      EXPECT_FALSE(p->trainable) << p->name;
+      EXPECT_TRUE(p->rom_resident) << p->name;
+    }
+    if (resconv) {
+      EXPECT_TRUE(p->trainable) << p->name;
+      EXPECT_FALSE(p->rom_resident) << p->name;
+    }
+  }
+}
+
+TEST(Policies, SpwdTrainsDecorationOnly) {
+  LayerPtr net =
+      build_vgg8_lite(tiny_zoo(), make_spwd_factory(/*decor_bits=*/2));
+  apply_transfer_policy(*net, TransferOption::kSpwd);
+  int decor_trainable = 0;
+  for (Parameter* p : net->parameters()) {
+    if (p->name.find(".decor") != std::string::npos) {
+      EXPECT_TRUE(p->trainable);
+      ++decor_trainable;
+    }
+    if (p->name.find(".trunk") != std::string::npos) {
+      EXPECT_FALSE(p->trainable);
+      EXPECT_TRUE(p->rom_resident);
+    }
+  }
+  EXPECT_EQ(decor_trainable, 6);
+}
+
+TEST(DeploymentSplit, ReBranchAreaFarBelowAllSram) {
+  LayerPtr rb = build_vgg8_lite(
+      tiny_zoo(), make_rebranch_factory(ReBranchConfig{4, 4}));
+  apply_transfer_policy(*rb, TransferOption::kReBranch);
+  const DeploymentSplit rb_split = deployment_split(*rb);
+
+  LayerPtr plain = build_vgg8_lite(tiny_zoo(), plain_conv_unit);
+  apply_transfer_policy(*plain, TransferOption::kAllSram);
+  const DeploymentSplit sram_split = deployment_split(*plain);
+
+  // ROM is ~19x denser, so mapped memory area shrinks drastically.
+  const double rom_d = 5.0;
+  const double sram_d = 0.26;
+  EXPECT_LT(rb_split.memory_area_mm2(rom_d, sram_d),
+            0.5 * sram_split.memory_area_mm2(rom_d, sram_d));
+  EXPECT_GT(rb_split.rom_bits, rb_split.sram_bits);
+  EXPECT_DOUBLE_EQ(sram_split.rom_bits, 0.0);
+}
+
+TEST(DeploymentSplit, SpwdCountsDecorAtLowBits) {
+  LayerPtr net = build_vgg8_lite(tiny_zoo(), make_spwd_factory(2));
+  apply_transfer_policy(*net, TransferOption::kSpwd);
+  const DeploymentSplit split = deployment_split(*net, 8, 2);
+  // Decoration params exist but count at 2/8 of their float size.
+  EXPECT_GT(split.sram_bits, 0.0);
+  EXPECT_GT(split.rom_bits, split.sram_bits);
+}
+
+TEST(Snapshot, RestoreCopiesMatchingParams) {
+  LayerPtr a = build_vgg8_lite(tiny_zoo(), plain_conv_unit);
+  ZooConfig other = tiny_zoo();
+  other.num_classes = 7;  // different head shape
+  LayerPtr b = build_vgg8_lite(other, plain_conv_unit);
+  // Perturb a's backbone.
+  for (Parameter* p : a->parameters()) {
+    p->value.fill(0.5f);
+  }
+  const ParamSnapshot snap = snapshot_parameters(*a);
+  const int copied = restore_parameters(*b, snap);
+  EXPECT_GT(copied, 0);
+  // Backbone copied, head (shape mismatch) untouched.
+  for (Parameter* p : b->parameters()) {
+    if (p->name.find("backbone") != std::string::npos &&
+        p->name.find(".weight") != std::string::npos) {
+      EXPECT_FLOAT_EQ(p->value[0], 0.5f) << p->name;
+    }
+  }
+}
+
+TEST(QatConv, ForwardUsesQuantizedWeights) {
+  Rng rng(3);
+  QatConv2d conv(1, 1, 1, 1, 0, /*weight_bits=*/2, rng, "q");
+  Parameter* master = conv.parameters()[0];
+  master->value.fill(0.37f);  // quantizes to one of {-a, 0, +a}
+  Tensor x = Tensor::full({1, 1, 2, 2}, 1.0f);
+  Tensor y = conv.forward(x, true);
+  // 2-bit symmetric: qmax=1, scale=0.37 -> dequantized weight = 0.37.
+  EXPECT_NEAR(y[0], 0.37f, 1e-5);
+}
+
+TEST(QatConv, StraightThroughGradientReachesMaster) {
+  Rng rng(4);
+  QatConv2d conv(2, 2, 3, 1, 1, 2, rng, "q");
+  Parameter* master = conv.parameters()[0];
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  Tensor y = conv.forward(x, true);
+  (void)conv.backward(Tensor::full(y.shape(), 1.0f));
+  float grad_norm = 0.0f;
+  for (std::size_t i = 0; i < master->grad.size(); ++i) {
+    grad_norm += std::abs(master->grad[i]);
+  }
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+TEST(Rosl, PerfectWhenClassesSeparatedInEmbedding) {
+  // Identity-ish backbone: GAP over hand-made images separates classes.
+  Rng rng(5);
+  LayerPtr net = build_vgg8_lite(tiny_zoo(), plain_conv_unit);
+  auto* seq = dynamic_cast<Sequential*>(net.get());
+  ASSERT_NE(seq, nullptr);
+
+  const DatasetSpec spec = mnist_like_spec(16);
+  Rng drng(6);
+  LabeledDataset train = generate_classification(spec, 10, drng);
+  LabeledDataset test = generate_classification(spec, 5, drng);
+  const double acc = evaluate_rosl(*seq, train, test);
+  // Untrained random features still beat chance on clean data.
+  EXPECT_GT(acc, 1.5 / spec.num_classes);
+}
+
+TEST(OptionNames, AllDistinct) {
+  std::set<std::string> names;
+  for (auto opt : {TransferOption::kAllSram, TransferOption::kAllRom,
+                   TransferOption::kDeepConv, TransferOption::kSpwd,
+                   TransferOption::kReBranch, TransferOption::kRosl}) {
+    names.insert(option_name(opt));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+}  // namespace
+}  // namespace yoloc

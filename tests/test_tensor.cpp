@@ -1,0 +1,225 @@
+// Tensor storage and math-kernel tests, including the im2col/col2im
+// adjoint property that the conv backward pass relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace yoloc {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RejectsBadShapes) {
+  EXPECT_THROW(Tensor(std::vector<int>{}), std::runtime_error);
+  EXPECT_THROW(Tensor({2, 0}), std::runtime_error);
+  EXPECT_THROW(Tensor({-1}), std::runtime_error);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({4}, 2.5f);
+  EXPECT_EQ(t[3], 2.5f);
+  t.zero();
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, FromVectorChecksCount) {
+  EXPECT_NO_THROW(Tensor::from_vector({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}), std::runtime_error);
+}
+
+TEST(Tensor, At2Checked) {
+  Tensor t({2, 3});
+  t.at2(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_THROW((void)t.at2(2, 0), std::runtime_error);
+}
+
+TEST(Tensor, At4MatchesIndex4) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[t.index4(1, 2, 3, 4)], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::runtime_error);
+}
+
+TEST(Tensor, SumAndMaxAbs) {
+  Tensor t = Tensor::from_vector({3}, {1.0f, -4.0f, 2.0f});
+  EXPECT_DOUBLE_EQ(t.sum(), -1.0);
+  EXPECT_FLOAT_EQ(t.max_abs(), 4.0f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(5);
+  Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  EXPECT_NEAR(mean(t), 0.0, 0.08);
+  EXPECT_NEAR(std::sqrt(variance(t)), 2.0, 0.08);
+}
+
+TEST(Ops, AddSubMul) {
+  Tensor a = Tensor::from_vector({3}, {1, 2, 3});
+  Tensor b = Tensor::from_vector({3}, {4, 5, 6});
+  EXPECT_FLOAT_EQ(add(a, b)[1], 7.0f);
+  EXPECT_FLOAT_EQ(sub(b, a)[2], 3.0f);
+  EXPECT_FLOAT_EQ(mul(a, b)[0], 4.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(add(a, b), std::runtime_error);
+}
+
+TEST(Ops, AxpyInplace) {
+  Tensor a = Tensor::from_vector({2}, {1, 1});
+  Tensor b = Tensor::from_vector({2}, {2, 4});
+  axpy_inplace(a, 0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[1], 3.0f);
+}
+
+TEST(Ops, MatmulHandComputed) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulInnerDimChecked) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), std::runtime_error);
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({5, 7}, rng);
+  Tensor att = transpose2d(transpose2d(a));
+  EXPECT_FLOAT_EQ(max_abs_diff(a, att), 0.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(4);
+  Tensor logits = Tensor::randn({6, 9}, rng, 3.0f);
+  Tensor p = softmax_rows(logits);
+  for (int r = 0; r < 6; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < 9; ++c) {
+      EXPECT_GE(p.at2(r, c), 0.0f);
+      s += p.at2(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxStableForLargeLogits) {
+  Tensor logits = Tensor::from_vector({1, 3}, {1000.0f, 999.0f, 998.0f});
+  Tensor p = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_GT(p.at2(0, 0), p.at2(0, 1));
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor t = Tensor::from_vector({2, 3}, {1, 5, 2, 9, 0, 3});
+  const auto idx = argmax_rows(t);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Ops, ConvOutExtent) {
+  EXPECT_EQ(conv_out_extent(32, 3, 1, 1), 32);
+  EXPECT_EQ(conv_out_extent(32, 3, 2, 1), 16);
+  EXPECT_EQ(conv_out_extent(5, 3, 1, 0), 3);
+  EXPECT_THROW(conv_out_extent(2, 5, 1, 0), std::runtime_error);
+}
+
+TEST(Ops, Im2colIdentityKernel) {
+  // 1x1 kernel, stride 1, no padding: im2col is a reshape.
+  Rng rng(6);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  Tensor cols = im2col(x, 1, 1, 1, 0);
+  EXPECT_EQ(cols.shape()[0], 3);
+  EXPECT_EQ(cols.shape()[1], 2 * 16);
+  // Channel c, image n, pixel (i,j) maps to cols(c, n*16 + i*4 + j).
+  EXPECT_FLOAT_EQ(cols.at2(2, 1 * 16 + 5), x.at4(1, 2, 1, 1));
+}
+
+TEST(Ops, Im2colPaddingZeros) {
+  Tensor x = Tensor::full({1, 1, 2, 2}, 1.0f);
+  Tensor cols = im2col(x, 3, 3, 1, 1);
+  EXPECT_EQ(cols.shape()[0], 9);
+  EXPECT_EQ(cols.shape()[1], 4);
+  // Top-left output pixel: the (0,0) kernel tap falls on padding.
+  EXPECT_FLOAT_EQ(cols.at2(0, 0), 0.0f);
+  // Center tap hits the image.
+  EXPECT_FLOAT_EQ(cols.at2(4, 0), 1.0f);
+}
+
+/// <im2col(x), y> == <x, col2im(y)>: the two ops are adjoint, which is
+/// exactly what conv backward assumes.
+TEST(Ops, Im2colCol2imAdjoint) {
+  Rng rng(8);
+  const std::vector<int> shape{2, 3, 6, 6};
+  Tensor x = Tensor::randn(shape, rng);
+  Tensor cols = im2col(x, 3, 3, 2, 1);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back = col2im(y, shape, 3, 3, 2, 1);
+
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+struct ConvGeom {
+  int kernel;
+  int stride;
+  int pad;
+};
+
+class Im2colProperty : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(Im2colProperty, ShapesAndAdjointHold) {
+  const auto g = GetParam();
+  Rng rng(100 + g.kernel * 10 + g.stride);
+  const std::vector<int> shape{1, 2, 8, 8};
+  Tensor x = Tensor::randn(shape, rng);
+  Tensor cols = im2col(x, g.kernel, g.kernel, g.stride, g.pad);
+  const int oh = conv_out_extent(8, g.kernel, g.stride, g.pad);
+  EXPECT_EQ(cols.shape()[0], 2 * g.kernel * g.kernel);
+  EXPECT_EQ(cols.shape()[1], oh * oh);
+
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back = col2im(y, shape, g.kernel, g.kernel, g.stride, g.pad);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2colProperty,
+    ::testing::Values(ConvGeom{1, 1, 0}, ConvGeom{3, 1, 1}, ConvGeom{3, 2, 1},
+                      ConvGeom{5, 1, 2}, ConvGeom{2, 2, 0},
+                      ConvGeom{3, 1, 0}));
+
+}  // namespace
+}  // namespace yoloc

@@ -1,0 +1,180 @@
+// Optimizer and training-loop tests: SGD math, freezing semantics, and
+// learnability of small synthetic problems.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/container.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+namespace {
+
+TEST(Sgd, PlainStepDescendsGradient) {
+  Parameter p("w", Tensor::from_vector({2}, {1.0f, -1.0f}));
+  p.grad = Tensor::from_vector({2}, {0.5f, -0.5f});
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.0f;
+  cfg.weight_decay = 0.0f;
+  Sgd opt({&p}, cfg);
+  opt.step();
+  EXPECT_NEAR(p.value[0], 0.95f, 1e-6);
+  EXPECT_NEAR(p.value[1], -0.95f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter p("w", Tensor::from_vector({1}, {0.0f}));
+  SgdConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.momentum = 0.5f;
+  cfg.weight_decay = 0.0f;
+  Sgd opt({&p}, cfg);
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1, w=-1
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6);
+  opt.step();  // v=0.5*1+1=1.5, w=-2.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Parameter p("w", Tensor::from_vector({1}, {2.0f}));
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.0f;
+  cfg.weight_decay = 0.1f;
+  Sgd opt({&p}, cfg);
+  p.grad[0] = 0.0f;
+  opt.step();
+  EXPECT_NEAR(p.value[0], 2.0f - 0.1f * (0.1f * 2.0f), 1e-6);
+}
+
+TEST(Sgd, FrozenParameterUntouched) {
+  Parameter p("w", Tensor::from_vector({1}, {1.0f}));
+  p.trainable = false;
+  p.grad[0] = 10.0f;
+  SgdConfig cfg;
+  Sgd opt({&p}, cfg);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+}
+
+TEST(Sgd, ZeroGradClearsAll) {
+  Parameter p("w", Tensor::from_vector({2}, {1.0f, 2.0f}));
+  p.grad = Tensor::from_vector({2}, {3.0f, 4.0f});
+  Sgd opt({&p}, SgdConfig{});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(p.grad[1], 0.0f);
+}
+
+TEST(GatherBatch, SelectsRows) {
+  Tensor images({3, 1, 2, 2});
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    images[i] = static_cast<float>(i);
+  }
+  Tensor batch = gather_batch(images, {2, 0});
+  EXPECT_EQ(batch.shape()[0], 2);
+  EXPECT_FLOAT_EQ(batch[0], 8.0f);   // first element of image 2
+  EXPECT_FLOAT_EQ(batch[4], 0.0f);   // first element of image 0
+}
+
+TEST(GatherBatch, RejectsOutOfRange) {
+  Tensor images({2, 1, 2, 2});
+  EXPECT_THROW(gather_batch(images, {5}), std::runtime_error);
+}
+
+/// A linearly separable 2-class problem learned by a linear classifier.
+TEST(TrainClassifier, LearnsSeparableProblem) {
+  Rng rng(42);
+  const int n = 128;
+  Tensor images({n, 1, 2, 2});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int cls = i % 2;
+    labels[static_cast<std::size_t>(i)] = cls;
+    for (int j = 0; j < 4; ++j) {
+      images[static_cast<std::size_t>(i) * 4 + j] = static_cast<float>(
+          rng.normal(cls == 0 ? -1.0 : 1.0, 0.3));
+    }
+  }
+  auto model = std::make_unique<Sequential>("m");
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Linear>(4, 2, true, rng, "fc"));
+
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.batch_size = 16;
+  cfg.sgd.lr = 0.1f;
+  const TrainStats stats = train_classifier(*model, images, labels, cfg);
+  EXPECT_LT(stats.final_loss(), stats.epoch_loss.front());
+  EXPECT_GT(evaluate_classifier(*model, images, labels), 0.97);
+}
+
+TEST(TrainClassifier, FrozenModelDoesNotLearn) {
+  Rng rng(43);
+  const int n = 64;
+  Tensor images = Tensor::randn({n, 1, 2, 2}, rng);
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) labels[static_cast<std::size_t>(i)] = i % 2;
+
+  auto model = std::make_unique<Sequential>("m");
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Linear>(4, 2, true, rng, "fc"));
+  const auto before = model->parameters()[0]->value;
+  for (Parameter* p : model->parameters()) p->trainable = false;
+
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  (void)train_classifier(*model, images, labels, cfg);
+  EXPECT_FLOAT_EQ(max_abs_diff(model->parameters()[0]->value, before), 0.0f);
+}
+
+TEST(TrainDetector, LossDecreasesOnToyScenes) {
+  Rng rng(44);
+  const int n = 32;
+  const int hw = 8;
+  Tensor images({n, 1, hw, hw});
+  std::vector<std::vector<GtBox>> boxes(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    GtBox b;
+    b.cx = 0.25f + 0.5f * static_cast<float>(i % 2);
+    b.cy = 0.25f;
+    b.w = 0.3f;
+    b.h = 0.3f;
+    b.cls = i % 2;
+    boxes[static_cast<std::size_t>(i)].push_back(b);
+    // Paint the object so there is signal.
+    for (int y = 0; y < hw / 2; ++y) {
+      for (int x = 0; x < hw / 2; ++x) {
+        images.at4(i, 0, y, x + (i % 2) * hw / 2) = 1.0f;
+      }
+    }
+  }
+  GridLossConfig loss_cfg;
+  loss_cfg.grid = 2;
+  loss_cfg.classes = 2;
+
+  Rng mrng(45);
+  auto model = std::make_unique<Sequential>("det");
+  model->add(std::make_unique<Conv2d>(1, 8, 3, 2, 1, false, mrng, "c1"));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Conv2d>(8, 7, 3, 2, 1, true, mrng, "c2"));
+
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 8;
+  cfg.sgd.lr = 0.05f;
+  const TrainStats stats = train_detector(*model, images, boxes, loss_cfg,
+                                          cfg);
+  EXPECT_LT(stats.final_loss(), 0.7 * stats.epoch_loss.front());
+}
+
+}  // namespace
+}  // namespace yoloc

@@ -1,0 +1,140 @@
+// Model-zoo tests: every -lite topology builds, produces the right output
+// shape, backpropagates, and follows the backbone/head naming convention
+// the deployment policies rely on.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/zoo.hpp"
+
+namespace yoloc {
+namespace {
+
+ZooConfig test_cfg() {
+  ZooConfig cfg;
+  cfg.image_size = 16;
+  cfg.base_width = 4;
+  cfg.num_classes = 5;
+  return cfg;
+}
+
+int count_params_with(Layer& model, const std::string& needle) {
+  int n = 0;
+  for (Parameter* p : model.parameters()) {
+    if (p->name.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+TEST(Zoo, Vgg8LiteShapesAndNames) {
+  const auto cfg = test_cfg();
+  LayerPtr net = build_vgg8_lite(cfg, plain_conv_unit);
+  Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor y = net->forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 5}));
+  EXPECT_GT(count_params_with(*net, "backbone"), 0);
+  EXPECT_GT(count_params_with(*net, "head"), 0);
+}
+
+TEST(Zoo, Vgg8LiteBackward) {
+  const auto cfg = test_cfg();
+  LayerPtr net = build_vgg8_lite(cfg, plain_conv_unit);
+  Rng rng(2);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor y = net->forward(x, true);
+  Tensor g = net->backward(Tensor::full(y.shape(), 1.0f));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(Zoo, ResNet18LiteShapesAndResidualStructure) {
+  const auto cfg = test_cfg();
+  LayerPtr net = build_resnet18_lite(cfg, plain_conv_unit);
+  Rng rng(3);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor y = net->forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 5}));
+  // 4 stages x 2 blocks x 2 convs = 16 backbone convs + stem.
+  EXPECT_GE(count_params_with(*net, "backbone"), 17);
+  // Projection skips exist at stage transitions.
+  EXPECT_GT(count_params_with(*net, ".proj"), 0);
+}
+
+TEST(Zoo, ResNet18LiteBackward) {
+  const auto cfg = test_cfg();
+  LayerPtr net = build_resnet18_lite(cfg, plain_conv_unit);
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  Tensor y = net->forward(x, true);
+  EXPECT_NO_THROW(net->backward(Tensor::full(y.shape(), 0.1f)));
+}
+
+TEST(Zoo, DetectorLiteOutputsGrid) {
+  const auto cfg = test_cfg();
+  LayerPtr det = build_detector_lite(cfg, plain_conv_unit);
+  Rng rng(5);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor y = det->forward(x, true);
+  const int grid = detector_grid_extent(16);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 5 + 5, grid, grid}));
+}
+
+TEST(Zoo, TinyDetectorSmallerThanFull) {
+  const auto cfg = test_cfg();
+  LayerPtr det = build_detector_lite(cfg, plain_conv_unit);
+  LayerPtr tiny = build_tiny_detector_lite(cfg, plain_conv_unit);
+  EXPECT_LT(parameter_count(*tiny), parameter_count(*det));
+  Rng rng(6);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  EXPECT_EQ(tiny->forward(x, true).shape(),
+            det->forward(x, true).shape());
+}
+
+TEST(Zoo, FactoryHookReceivesEveryBackboneConv) {
+  const auto cfg = test_cfg();
+  int calls = 0;
+  ConvUnitFactory counting = [&calls](const ConvSpec& spec, Rng& rng) {
+    ++calls;
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_NE(spec.name.find("backbone"), std::string::npos);
+    return plain_conv_unit(spec, rng);
+  };
+  (void)build_vgg8_lite(cfg, counting);
+  EXPECT_EQ(calls, 6);  // three stages x two convs
+  calls = 0;
+  (void)build_darknet_lite_backbone(cfg, counting);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Zoo, SameSeedSameInit) {
+  const auto cfg = test_cfg();
+  LayerPtr a = build_vgg8_lite(cfg, plain_conv_unit);
+  LayerPtr b = build_vgg8_lite(cfg, plain_conv_unit);
+  const auto pa = a->parameters();
+  const auto pb = b->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i]->name, pb[i]->name);
+    for (std::size_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+}
+
+TEST(Zoo, RejectsBadImageSize) {
+  ZooConfig cfg = test_cfg();
+  cfg.image_size = 10;  // not divisible by 8
+  EXPECT_THROW(build_vgg8_lite(cfg, plain_conv_unit), std::runtime_error);
+}
+
+TEST(Zoo, WidthScalesParameterCount) {
+  ZooConfig narrow = test_cfg();
+  ZooConfig wide = test_cfg();
+  wide.base_width = 8;
+  LayerPtr a = build_vgg8_lite(narrow, plain_conv_unit);
+  LayerPtr b = build_vgg8_lite(wide, plain_conv_unit);
+  EXPECT_GT(parameter_count(*b), 3 * parameter_count(*a));
+}
+
+}  // namespace
+}  // namespace yoloc
