@@ -1,0 +1,136 @@
+// Serving throughput of the DeploymentPlan / ExecutionContext /
+// InferenceServer runtime: images/s for batch sizes {1, 8, 32} x worker
+// counts {1, 4, 8}, one JSON line per configuration (the perf-trajectory
+// feed for BENCH_*.json).
+//
+//   build/bench_serving_throughput [--mode=analog|exact] [--seconds=S]
+//
+// Workers scale with host cores; on an H-core box the batch-32 rows are
+// expected to show ~min(workers, H)x images/s over the 1-worker row.
+// YOLOC_THREADS pins the default worker count for CI.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "nn/zoo.hpp"
+#include "runtime/deployment_plan.hpp"
+#include "runtime/inference_server.hpp"
+
+namespace {
+
+using namespace yoloc;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kImageSize = 16;
+
+std::unique_ptr<DeploymentPlan> build_plan(MacroMvmEngine::Mode mode) {
+  ZooConfig zoo;
+  zoo.image_size = kImageSize;
+  zoo.base_width = 8;
+  zoo.num_classes = 10;
+  LayerPtr model = build_vgg8_lite(zoo, plain_conv_unit);
+  for (Parameter* p : model->parameters()) {
+    p->rom_resident = p->name.find("backbone") != std::string::npos;
+  }
+  Rng rng(7);
+  Tensor calib =
+      Tensor::rand_uniform({8, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  DeploymentOptions options;
+  options.mode = mode;
+  return std::make_unique<DeploymentPlan>(std::move(model), calib,
+                                          std::move(options));
+}
+
+struct RunResult {
+  std::uint64_t images = 0;
+  double seconds = 0.0;
+  double avg_microbatch = 0.0;
+  double energy_pj_per_image = 0.0;
+};
+
+/// Serve waves of `batch` single-image requests until `min_seconds` of
+/// wall clock have elapsed (at least two waves).
+RunResult run_config(const DeploymentPlan& plan, int workers, int batch,
+                     double min_seconds) {
+  ServerOptions options;
+  options.workers = workers;
+  options.max_microbatch = 8;
+  InferenceServer server(plan, options);
+
+  Rng rng(123);
+  Tensor wave =
+      Tensor::rand_uniform({batch, 3, kImageSize, kImageSize}, rng, 0.0f,
+                           1.0f);
+  (void)server.infer(wave);  // warmup: touches every layer + scratch
+  server.wait_idle();
+  server.reset_stats();
+  const ServerMetrics warm = server.metrics();
+
+  const auto start = Clock::now();
+  std::uint64_t images = 0;
+  int waves = 0;
+  for (;;) {
+    (void)server.infer(wave);
+    images += static_cast<std::uint64_t>(batch);
+    ++waves;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (waves >= 2 && elapsed >= min_seconds) break;
+  }
+  server.wait_idle();
+
+  RunResult r;
+  r.images = images;
+  r.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  const ServerMetrics m = server.metrics();
+  const std::uint64_t batches = m.batches - warm.batches;
+  r.avg_microbatch =
+      batches == 0 ? 0.0
+                   : static_cast<double>(m.requests - warm.requests) /
+                         static_cast<double>(batches);
+  r.energy_pj_per_image =
+      images == 0 ? 0.0
+                  : server.total_energy_pj() / static_cast<double>(images);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MacroMvmEngine::Mode mode = MacroMvmEngine::Mode::kExactCost;
+  double min_seconds = 0.4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mode=analog") == 0) {
+      mode = MacroMvmEngine::Mode::kAnalog;
+    } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      min_seconds = std::atof(argv[i] + 10);
+    }
+  }
+
+  auto plan = build_plan(mode);
+  const char* mode_name =
+      mode == MacroMvmEngine::Mode::kAnalog ? "analog" : "exact-cost";
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  for (const int workers : {1, 4, 8}) {
+    for (const int batch : {1, 8, 32}) {
+      const RunResult r = run_config(*plan, workers, batch, min_seconds);
+      std::printf(
+          "{\"bench\":\"serving_throughput\",\"mode\":\"%s\","
+          "\"workers\":%d,\"batch\":%d,\"microbatch\":8,"
+          "\"host_cores\":%u,\"pool_workers\":%zu,"
+          "\"images\":%llu,\"seconds\":%.4f,\"images_per_s\":%.2f,"
+          "\"avg_microbatch\":%.2f,\"energy_pj_per_image\":%.1f}\n",
+          mode_name, workers, batch, host_cores, parallel_workers(),
+          static_cast<unsigned long long>(r.images), r.seconds,
+          static_cast<double>(r.images) / r.seconds, r.avg_microbatch,
+          r.energy_pj_per_image);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

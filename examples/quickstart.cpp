@@ -2,14 +2,18 @@
 // ROM-CiM + SRAM-CiM datapath, and compare float vs analog accuracy
 // while metering the modeled macro energy.
 //
-//   build/examples/quickstart
+//   build/quickstart
 //
-// Walks the full public API surface in ~50 lines of user code:
+// Walks the full public API surface in ~60 lines of user code:
 //   1. synthesize a dataset           (yoloc::data)
 //   2. build + train a float model    (yoloc::nn)
 //   3. mark ROM/SRAM residency        (parameter flags)
-//   4. deploy through YolocFramework  (yoloc::core)
+//   4. deploy through YolocFramework  (yoloc::core — a facade over the
+//                                      DeploymentPlan/ExecutionContext
+//                                      runtime)
 //   5. read back accuracy + energy    (macro run stats)
+//   6. serve parallel traffic with an InferenceServer over the shared
+//      DeploymentPlan                 (yoloc::runtime)
 
 #include <cstdio>
 
@@ -17,6 +21,7 @@
 #include "data/classification.hpp"
 #include "nn/trainer.hpp"
 #include "nn/zoo.hpp"
+#include "runtime/inference_server.hpp"
 
 int main() {
   using namespace yoloc;
@@ -74,5 +79,24 @@ int main() {
               100.0 * framework.sram_stats().energy_pj() /
                   framework.total_energy_pj());
   std::printf("quantized layers: %d\n", framework.quantized_layer_count());
+
+  // 6. The framework's DeploymentPlan is immutable and reentrant: put a
+  //    micro-batching InferenceServer in front of it to serve many
+  //    requests concurrently (workers default to parallel_workers(),
+  //    which honours YOLOC_THREADS).
+  ServerOptions serve;
+  serve.max_microbatch = 8;
+  InferenceServer server(framework.plan(), serve);
+  const double served_acc = evaluate_classifier(
+      [&server](const Tensor& batch) { return server.infer(batch); },
+      test.images, test.labels);
+  server.wait_idle();  // settle the completion accounting before reading
+  const ServerMetrics metrics = server.metrics();
+  std::printf(
+      "served %llu images on %d workers in %llu micro-batches "
+      "(avg fill %.1f): accuracy %.1f%%\n",
+      static_cast<unsigned long long>(metrics.images), server.worker_count(),
+      static_cast<unsigned long long>(metrics.batches),
+      metrics.avg_microbatch(), 100.0 * served_acc);
   return 0;
 }

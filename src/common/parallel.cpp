@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -10,8 +11,9 @@
 namespace yoloc {
 namespace {
 
-/// True while the current thread is executing inside a pool task;
-/// nested parallel_for calls then run serially instead of deadlocking.
+/// True while the current thread is executing inside a pool task (or under
+/// a ParallelSerialGuard); nested parallel_for calls then run serially
+/// instead of deadlocking.
 thread_local bool t_inside_pool = false;
 
 /// Persistent worker pool. Kernels issue thousands of small parallel
@@ -26,6 +28,10 @@ class Pool {
   }
 
   void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    // Top-level regions may now arrive from several threads at once (the
+    // InferenceServer workers); serialize them so one region's fn_/n_
+    // cannot be overwritten while workers are still draining it.
+    std::lock_guard submit_lock(submit_mutex_);
     std::unique_lock lock(mutex_);
     fn_ = &fn;
     n_ = n;
@@ -90,6 +96,7 @@ class Pool {
   }
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
@@ -103,13 +110,30 @@ class Pool {
 
 }  // namespace
 
+std::size_t resolve_worker_count(const char* override_value,
+                                 std::size_t fallback) {
+  if (override_value == nullptr || *override_value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(override_value, &end, 10);
+  if (end == override_value || *end != '\0') return fallback;
+  return static_cast<std::size_t>(std::clamp(parsed, 1l, 64l));
+}
+
 std::size_t parallel_workers() {
   static const std::size_t n = [] {
     const unsigned hw = std::thread::hardware_concurrency();
-    return static_cast<std::size_t>(std::clamp(hw, 1u, 16u));
+    const std::size_t fallback =
+        static_cast<std::size_t>(std::clamp(hw, 1u, 16u));
+    return resolve_worker_count(std::getenv("YOLOC_THREADS"), fallback);
   }();
   return n;
 }
+
+ParallelSerialGuard::ParallelSerialGuard() : prev_(t_inside_pool) {
+  t_inside_pool = true;
+}
+
+ParallelSerialGuard::~ParallelSerialGuard() { t_inside_pool = prev_; }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;

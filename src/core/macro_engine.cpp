@@ -6,24 +6,36 @@
 
 namespace yoloc {
 
-MacroMvmEngine::MacroMvmEngine(const CimMacro& macro, Mode mode,
-                               std::uint64_t seed)
-    : macro_(&macro), mode_(mode), rng_(seed) {}
+MacroMvmEngine::MacroMvmEngine(const CimMacro& macro, Mode mode)
+    : macro_(&macro), mode_(mode) {}
 
 std::string MacroMvmEngine::name() const {
   return mode_ == Mode::kAnalog ? "macro-analog" : "macro-exact-cost";
 }
 
 void MacroMvmEngine::mvm_batch(const std::int8_t* w, int m, int k,
-                               const std::uint8_t* x, int p, std::int32_t* y) {
+                               const std::uint8_t* x, int p, std::int32_t* y,
+                               MvmSession& session) const {
   YOLOC_CHECK(m > 0 && k > 0 && p > 0, "macro engine: bad MVM shape");
+  YOLOC_CHECK(session.stats != nullptr,
+              "macro engine: session must carry run stats");
+  YOLOC_CHECK(mode_ != Mode::kAnalog || session.rng != nullptr,
+              "macro engine: analog mode needs a session noise rng");
+  MacroRunStats& stats = *session.stats;
   const int rows = macro_->config().geometry.rows;
 
   for (std::size_t i = 0; i < static_cast<std::size_t>(m) * p; ++i) y[i] = 0;
 
-  std::vector<std::int8_t> w_chunk;
-  std::vector<std::uint8_t> x_chunk(static_cast<std::size_t>(rows));
-  std::vector<std::int32_t> y_partial(static_cast<std::size_t>(m));
+  // Tiling buffers come from the session scratch when available so the
+  // serve-time hot loop stops allocating per layer.
+  MvmScratch local_scratch;
+  MvmScratch& scratch =
+      session.scratch != nullptr ? *session.scratch : local_scratch;
+  std::vector<std::int8_t>& w_chunk = scratch.w_chunk;
+  std::vector<std::uint8_t>& x_chunk = scratch.x_chunk;
+  std::vector<std::int32_t>& y_partial = scratch.y_partial;
+  x_chunk.resize(static_cast<std::size_t>(rows));
+  y_partial.resize(static_cast<std::size_t>(m));
 
   // Tile the reduction dimension over subarray row capacity; partial sums
   // accumulate digitally (the shift-add backend).
@@ -42,13 +54,14 @@ void MacroMvmEngine::mvm_batch(const std::int8_t* w, int m, int k,
       }
       if (mode_ == Mode::kAnalog) {
         macro_->mvm(w_chunk.data(), m, k_size, x_chunk.data(),
-                    y_partial.data(), rng_, stats_);
+                    y_partial.data(), *session.rng, stats);
       } else {
         macro_->mvm_exact_cost(w_chunk.data(), m, k_size, x_chunk.data(),
-                               y_partial.data(), stats_);
+                               y_partial.data(), stats);
       }
       for (int j = 0; j < m; ++j) {
-        y[static_cast<std::size_t>(j) * p + col] += y_partial[static_cast<std::size_t>(j)];
+        y[static_cast<std::size_t>(j) * p + col] +=
+            y_partial[static_cast<std::size_t>(j)];
       }
     }
   }

@@ -8,8 +8,15 @@
 // circuit substrate: running a quantized network with this engine yields
 // simultaneously (a) task accuracy under analog non-idealities and
 // (b) measured compute energy per inference.
-
-#include <memory>
+//
+// The engine itself is immutable and reentrant: it holds only the macro
+// model and the mode. The noise RNG stream and the run statistics travel
+// in the caller's MvmSession, so any number of requests can execute
+// through one engine concurrently, each with its own session. Because a
+// session is REQUIRED (stats always, rng in analog mode), this engine
+// cannot be direct-bound to quantized layers the way the sessionless
+// ExactMvmEngine can — drive it through an ExecutionContext / MvmBinding
+// (src/runtime/), which wires a session per request.
 
 #include "macro/cim_macro.hpp"
 #include "nn/quantize.hpp"
@@ -23,20 +30,23 @@ class MacroMvmEngine final : public MvmEngine {
     kExactCost,  // bit-exact math, modeled cost (cost-only studies)
   };
 
-  MacroMvmEngine(const CimMacro& macro, Mode mode, std::uint64_t seed);
+  MacroMvmEngine(const CimMacro& macro, Mode mode);
 
+  // Note: the base class's sessionless mvm_batch convenience is
+  // deliberately NOT re-exposed — this engine requires a session, so the
+  // hidden overload turns a guaranteed runtime throw into a compile error.
+
+  /// Requires session.stats; kAnalog additionally requires session.rng.
   void mvm_batch(const std::int8_t* w, int m, int k, const std::uint8_t* x,
-                 int p, std::int32_t* y) override;
+                 int p, std::int32_t* y, MvmSession& session) const override;
   [[nodiscard]] std::string name() const override;
 
-  [[nodiscard]] const MacroRunStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = MacroRunStats{}; }
+  [[nodiscard]] const CimMacro& macro() const { return *macro_; }
+  [[nodiscard]] Mode mode() const { return mode_; }
 
  private:
   const CimMacro* macro_;
   Mode mode_;
-  Rng rng_;
-  MacroRunStats stats_;
 };
 
 }  // namespace yoloc

@@ -1,87 +1,41 @@
 #include "core/yoloc_framework.hpp"
 
-#include "common/check.hpp"
-#include "nn/conv2d.hpp"
-#include "nn/linear.hpp"
 #include "nn/trainer.hpp"
-#include "tensor/ops.hpp"
 
 namespace yoloc {
 
-FrameworkOptions::FrameworkOptions()
-    : rom_macro(default_rom_macro()), sram_macro(default_sram_macro()) {}
-
 YolocFramework::YolocFramework(LayerPtr trained_model,
                                const Tensor& calibration_images,
-                               FrameworkOptions options)
-    : options_(std::move(options)),
-      rom_macro_(options_.rom_macro),
-      sram_macro_(options_.sram_macro),
-      rom_engine_(std::make_unique<MacroMvmEngine>(rom_macro_, options_.mode,
-                                                   options_.noise_seed)),
-      sram_engine_(std::make_unique<MacroMvmEngine>(
-          sram_macro_, options_.mode, options_.noise_seed ^ 0x5A5A)),
-      model_(std::move(trained_model)) {
-  YOLOC_CHECK(model_ != nullptr, "framework: null model");
-  fold_batchnorm(*model_);
-  quantized_layers_ = lower_network(*model_);
-  YOLOC_CHECK(quantized_layers_ > 0, "framework: nothing to quantize");
-  calibrate_quantized(*model_, calibration_images);
-  reset_stats();  // calibration passes should not count as inference cost
-}
-
-int YolocFramework::lower_network(Layer& node) {
-  int replaced = 0;
-  const auto children = node.children();
-  for (std::size_t i = 0; i < children.size(); ++i) {
-    Layer* child = children[i];
-    if (auto* conv = dynamic_cast<Conv2d*>(child)) {
-      MacroMvmEngine& engine = conv->weight().rom_resident
-                                   ? *rom_engine_
-                                   : *sram_engine_;
-      node.replace_child(i, std::make_unique<QuantConv2d>(
-                                *conv, engine, options_.weight_bits,
-                                options_.act_bits));
-      ++replaced;
-    } else if (auto* lin = dynamic_cast<Linear*>(child)) {
-      MacroMvmEngine& engine =
-          lin->weight().rom_resident ? *rom_engine_ : *sram_engine_;
-      node.replace_child(i, std::make_unique<QuantLinear>(
-                                *lin, engine, options_.weight_bits,
-                                options_.act_bits));
-      ++replaced;
-    } else {
-      replaced += lower_network(*child);
-    }
-  }
-  return replaced;
+                               FrameworkOptions options) {
+  plan_ = std::make_unique<DeploymentPlan>(
+      std::move(trained_model), calibration_images,
+      static_cast<DeploymentOptions>(options));  // slice off the plan part
+  context_ = std::make_unique<ExecutionContext>(*plan_, options.noise_seed);
 }
 
 Tensor YolocFramework::infer(const Tensor& images) {
-  return model_->forward(images, /*train=*/false);
+  return context_->infer(images);
 }
 
 double YolocFramework::evaluate_accuracy(const LabeledDataset& dataset,
                                          int batch_size) {
-  return evaluate_classifier(*model_, dataset.images, dataset.labels,
-                             batch_size);
+  return evaluate_classifier(
+      [this](const Tensor& batch) { return infer(batch); }, dataset.images,
+      dataset.labels, batch_size);
 }
 
 const MacroRunStats& YolocFramework::rom_stats() const {
-  return rom_engine_->stats();
+  return context_->rom_stats();
 }
 
 const MacroRunStats& YolocFramework::sram_stats() const {
-  return sram_engine_->stats();
+  return context_->sram_stats();
 }
 
-void YolocFramework::reset_stats() {
-  rom_engine_->reset_stats();
-  sram_engine_->reset_stats();
-}
+void YolocFramework::reset_stats() { context_->reset_stats(); }
 
 double YolocFramework::total_energy_pj() const {
-  return rom_engine_->stats().energy_pj() + sram_engine_->stats().energy_pj();
+  return context_->total_energy_pj();
 }
 
 }  // namespace yoloc

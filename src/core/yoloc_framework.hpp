@@ -1,33 +1,33 @@
 #pragma once
 // Top-level YOLoC deployment API (paper Sec. 3.3, Fig. 9).
 //
-// Takes a float-trained network whose parameters carry residency flags
-// (set by apply_transfer_policy), lowers it onto the CiM datapath:
-//   1. BatchNorm folding,
-//   2. int8 quantization with per-layer engine selection — ROM-resident
-//      convolutions execute on the ROM-CiM macro model, SRAM-resident
-//      ones on the SRAM-CiM macro model,
-//   3. activation-range calibration,
-// and then serves inference through the analog functional path while
-// metering both macros' energy/latency.
+// Historically this class fused one-time network lowering with per-request
+// execution state. It is now a thin facade over the runtime split:
+//   * DeploymentPlan    — immutable deploy-time product (BN folding, int8
+//                         quantization with ROM/SRAM engine selection,
+//                         calibrated activation ranges),
+//   * ExecutionContext  — the facade's single serving context (noise RNG
+//                         streams, run statistics, scratch buffers).
+// One framework == one plan + one context, preserving the original
+// single-stream semantics (stats accumulate across infer() calls until
+// reset_stats()). For parallel traffic, share framework.plan() across
+// many ExecutionContexts or put an InferenceServer in front of it
+// (src/runtime/inference_server.hpp).
 
 #include <memory>
 
-#include "core/macro_engine.hpp"
 #include "data/classification.hpp"
-#include "nn/container.hpp"
+#include "runtime/deployment_plan.hpp"
+#include "runtime/execution_context.hpp"
 
 namespace yoloc {
 
-struct FrameworkOptions {
-  MacroConfig rom_macro;
-  MacroConfig sram_macro;
-  int weight_bits = 8;
-  int act_bits = 8;
-  MacroMvmEngine::Mode mode = MacroMvmEngine::Mode::kAnalog;
+/// DeploymentOptions (macros, bit widths, mode) plus the facade-owned
+/// serving seed. Extending the plan options keeps the two structs from
+/// drifting — a field added to DeploymentOptions reaches the facade
+/// automatically.
+struct FrameworkOptions : DeploymentOptions {
   std::uint64_t noise_seed = 2024;
-
-  FrameworkOptions();
 };
 
 class YolocFramework {
@@ -52,20 +52,20 @@ class YolocFramework {
   /// Total modeled macro energy [pJ] since the last reset.
   [[nodiscard]] double total_energy_pj() const;
 
-  [[nodiscard]] int quantized_layer_count() const { return quantized_layers_; }
-  [[nodiscard]] Layer& model() { return *model_; }
+  [[nodiscard]] int quantized_layer_count() const {
+    return plan_->quantized_layer_count();
+  }
+  [[nodiscard]] Layer& model() { return plan_->model(); }
+
+  /// The shared deploy-time product — hand this to additional
+  /// ExecutionContexts or an InferenceServer for parallel serving.
+  [[nodiscard]] const DeploymentPlan& plan() const { return *plan_; }
+  /// The facade's own serving context.
+  [[nodiscard]] ExecutionContext& context() { return *context_; }
 
  private:
-  /// Recursive conv/linear replacement with per-layer engine selection.
-  int lower_network(Layer& node);
-
-  FrameworkOptions options_;
-  CimMacro rom_macro_;
-  CimMacro sram_macro_;
-  std::unique_ptr<MacroMvmEngine> rom_engine_;
-  std::unique_ptr<MacroMvmEngine> sram_engine_;
-  LayerPtr model_;
-  int quantized_layers_ = 0;
+  std::unique_ptr<DeploymentPlan> plan_;
+  std::unique_ptr<ExecutionContext> context_;
 };
 
 }  // namespace yoloc

@@ -4,13 +4,22 @@
 
 namespace yoloc {
 
-Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
-  mask_ = Tensor(input.shape());
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  // The backward tape is only recorded in train mode: eval forward must
+  // not write layer state so that concurrent requests can share one
+  // deployed model (see src/runtime/).
   Tensor out(input.shape());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    const bool on = input[i] > 0.0f;
-    mask_[i] = on ? 1.0f : 0.0f;
-    out[i] = on ? input[i] : 0.0f;
+  if (train) {
+    mask_ = Tensor(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      const bool on = input[i] > 0.0f;
+      mask_[i] = on ? 1.0f : 0.0f;
+      out[i] = on ? input[i] : 0.0f;
+    }
+  } else {
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+    }
   }
   return out;
 }
@@ -24,8 +33,8 @@ Tensor ReLU::backward(const Tensor& grad_output) {
 
 LeakyReLU::LeakyReLU(float negative_slope) : slope_(negative_slope) {}
 
-Tensor LeakyReLU::forward(const Tensor& input, bool /*train*/) {
-  cached_input_ = input;
+Tensor LeakyReLU::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
   Tensor out(input.shape());
   for (std::size_t i = 0; i < input.size(); ++i) {
     out[i] = input[i] > 0.0f ? input[i] : slope_ * input[i];
@@ -47,9 +56,9 @@ Tensor Identity::forward(const Tensor& input, bool /*train*/) { return input; }
 
 Tensor Identity::backward(const Tensor& grad_output) { return grad_output; }
 
-Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+Tensor Flatten::forward(const Tensor& input, bool train) {
   YOLOC_CHECK(input.rank() >= 2, "flatten: rank >= 2 required");
-  input_shape_ = input.shape();
+  if (train) input_shape_ = input.shape();
   int features = 1;
   for (int a = 1; a < input.rank(); ++a) features *= input.shape()[a];
   return input.reshaped({input.shape()[0], features});

@@ -22,48 +22,63 @@ BatchNorm2d::BatchNorm2d(int channels, float eps, float momentum,
 Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
   YOLOC_CHECK(input.rank() == 4 && input.shape()[1] == channels_,
               "batchnorm: NCHW input with matching channels required");
-  input_shape_ = input.shape();
   const int n = input.shape()[0];
   const int h = input.shape()[2];
   const int w = input.shape()[3];
   const int count = n * h * w;
 
   Tensor out(input.shape());
+
+  if (!train) {
+    // Pure running-stats normalization with no layer-state writes: a BN
+    // that survives deployment (not conv-adjacent, so not folded) must
+    // stay safe under concurrent eval forwards over a shared model.
+    for (int c = 0; c < channels_; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      const float mu = running_mean_[ci];
+      const float inv_std = 1.0f / std::sqrt(running_var_[ci] + eps_);
+      const float g = gamma_.value[ci];
+      const float b = beta_.value[ci];
+      for (int ni = 0; ni < n; ++ni) {
+        const float* src = input.data() + input.index4(ni, c, 0, 0);
+        float* dst = out.data() + out.index4(ni, c, 0, 0);
+        for (int s = 0; s < h * w; ++s) {
+          dst[s] = g * (src[s] - mu) * inv_std + b;
+        }
+      }
+    }
+    return out;
+  }
+
+  input_shape_ = input.shape();
   cached_xhat_ = Tensor(input.shape());
   cached_inv_std_ = Tensor({channels_});
 
   for (int c = 0; c < channels_; ++c) {
-    double mu;
-    double var;
-    if (train) {
-      double acc = 0.0;
-      for (int ni = 0; ni < n; ++ni) {
-        const float* src = input.data() + input.index4(ni, c, 0, 0);
-        for (int s = 0; s < h * w; ++s) acc += src[s];
-      }
-      mu = acc / count;
-      double vacc = 0.0;
-      for (int ni = 0; ni < n; ++ni) {
-        const float* src = input.data() + input.index4(ni, c, 0, 0);
-        for (int s = 0; s < h * w; ++s) {
-          const double d = src[s] - mu;
-          vacc += d * d;
-        }
-      }
-      var = vacc / count;
-      const std::size_t ci = static_cast<std::size_t>(c);
-      running_mean_[ci] = (1.0f - momentum_) * running_mean_[ci] +
-                          momentum_ * static_cast<float>(mu);
-      running_var_[ci] = (1.0f - momentum_) * running_var_[ci] +
-                         momentum_ * static_cast<float>(var);
-    } else {
-      mu = running_mean_[static_cast<std::size_t>(c)];
-      var = running_var_[static_cast<std::size_t>(c)];
+    double acc = 0.0;
+    for (int ni = 0; ni < n; ++ni) {
+      const float* src = input.data() + input.index4(ni, c, 0, 0);
+      for (int s = 0; s < h * w; ++s) acc += src[s];
     }
+    const double mu = acc / count;
+    double vacc = 0.0;
+    for (int ni = 0; ni < n; ++ni) {
+      const float* src = input.data() + input.index4(ni, c, 0, 0);
+      for (int s = 0; s < h * w; ++s) {
+        const double d = src[s] - mu;
+        vacc += d * d;
+      }
+    }
+    const double var = vacc / count;
+    const std::size_t ci = static_cast<std::size_t>(c);
+    running_mean_[ci] = (1.0f - momentum_) * running_mean_[ci] +
+                        momentum_ * static_cast<float>(mu);
+    running_var_[ci] = (1.0f - momentum_) * running_var_[ci] +
+                       momentum_ * static_cast<float>(var);
     const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-    cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
-    const float g = gamma_.value[static_cast<std::size_t>(c)];
-    const float b = beta_.value[static_cast<std::size_t>(c)];
+    cached_inv_std_[ci] = inv_std;
+    const float g = gamma_.value[ci];
+    const float b = beta_.value[ci];
     for (int ni = 0; ni < n; ++ni) {
       const float* src = input.data() + input.index4(ni, c, 0, 0);
       float* xh = cached_xhat_.data() + cached_xhat_.index4(ni, c, 0, 0);

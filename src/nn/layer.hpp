@@ -37,9 +37,14 @@ struct Parameter {
 /// Base class for all differentiable modules.
 ///
 /// Contract: backward(g) must be called with the gradient of the loss
-/// w.r.t. the output of the *most recent* forward() call, and returns the
-/// gradient w.r.t. that call's input. Layers cache whatever they need
-/// between the two calls (single-use tape).
+/// w.r.t. the output of the *most recent* forward(x, /*train=*/true)
+/// call, and returns the gradient w.r.t. that call's input. Layers cache
+/// whatever they need between the two calls (single-use tape) — but ONLY
+/// in train mode: eval-mode forward writes no layer state, so a deployed
+/// model can serve concurrent requests (see src/runtime/). Consequently
+/// backward after an eval-mode forward is undefined (it reads the tape of
+/// the last train-mode forward); gradient consumers must forward with
+/// train=true.
 class Layer {
  public:
   virtual ~Layer() = default;

@@ -10,7 +10,7 @@ MaxPool2d::MaxPool2d(int window) : window_(window) {
   YOLOC_CHECK(window >= 2, "maxpool: window >= 2");
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
+Tensor MaxPool2d::forward(const Tensor& input, bool train) {
   YOLOC_CHECK(input.rank() == 4, "maxpool: NCHW required");
   const int n = input.shape()[0];
   const int c = input.shape()[1];
@@ -20,9 +20,14 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
               "maxpool: input extent must be divisible by window");
   const int oh = h / window_;
   const int ow = w / window_;
-  input_shape_ = input.shape();
+  // The argmax tape is only recorded in train mode: eval forward must not
+  // write layer state so that concurrent requests can share one deployed
+  // model (see src/runtime/).
+  if (train) {
+    input_shape_ = input.shape();
+  }
   Tensor out({n, c, oh, ow});
-  argmax_.assign(out.size(), 0);
+  if (train) argmax_.assign(out.size(), 0);
   for (int ni = 0; ni < n; ++ni) {
     for (int ci = 0; ci < c; ++ci) {
       for (int oi = 0; oi < oh; ++oi) {
@@ -41,7 +46,7 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
           }
           const std::size_t oidx = out.index4(ni, ci, oi, oj);
           out[oidx] = best;
-          argmax_[oidx] = best_idx;
+          if (train) argmax_[oidx] = best_idx;
         }
       }
     }
@@ -60,9 +65,9 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
   return g;
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& input, bool /*train*/) {
+Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
   YOLOC_CHECK(input.rank() == 4, "gap: NCHW required");
-  input_shape_ = input.shape();
+  if (train) input_shape_ = input.shape();
   const int n = input.shape()[0];
   const int c = input.shape()[1];
   const int spatial = input.shape()[2] * input.shape()[3];

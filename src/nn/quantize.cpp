@@ -10,8 +10,64 @@
 
 namespace yoloc {
 
+namespace {
+
+/// Active binding for the current thread (set by MvmBinding::Scope).
+thread_local const MvmBinding* t_binding = nullptr;
+
+struct ResolvedEngine {
+  const MvmEngine* engine = nullptr;
+  MvmSession session;
+};
+
+/// Engine lookup order: thread-local slot for the layer's kind, then the
+/// thread-local default slot, then the layer's direct binding. The
+/// returned session always carries a scratch arena: the binding's if it
+/// supplied one, otherwise a thread-local fallback (so unscoped layers
+/// still reuse buffers within a thread).
+ResolvedEngine resolve_engine(const MvmEngine* direct, EngineKind kind,
+                              const char* what) {
+  ResolvedEngine resolved;
+  if (const MvmBinding* binding = MvmBinding::current()) {
+    const MvmBinding::Slot& s = binding->slot(kind);
+    const MvmBinding::Slot& d = binding->slot(EngineKind::kDefault);
+    if (s.engine != nullptr) {
+      resolved = {s.engine, s.session};
+    } else if (d.engine != nullptr) {
+      resolved = {d.engine, d.session};
+    }
+  }
+  if (resolved.engine == nullptr) {
+    // Direct bindings execute with an otherwise-empty session: only
+    // sessionless engines (ExactMvmEngine) support that. Session-
+    // requiring engines (MacroMvmEngine) must be driven through an
+    // ExecutionContext / MvmBinding, which supplies rng + stats.
+    YOLOC_CHECK(direct != nullptr,
+                std::string(what) +
+                    ": no engine bound — run inside an ExecutionContext "
+                    "(or lower with a direct sessionless engine)");
+    resolved.engine = direct;
+  }
+  if (resolved.session.scratch == nullptr) {
+    thread_local MvmScratch t_fallback_scratch;
+    resolved.session.scratch = &t_fallback_scratch;
+  }
+  return resolved;
+}
+
+}  // namespace
+
+MvmBinding::Scope::Scope(const MvmBinding& binding) : prev_(t_binding) {
+  t_binding = &binding;
+}
+
+MvmBinding::Scope::~Scope() { t_binding = prev_; }
+
+const MvmBinding* MvmBinding::current() { return t_binding; }
+
 void ExactMvmEngine::mvm_batch(const std::int8_t* w, int m, int k,
-                               const std::uint8_t* x, int p, std::int32_t* y) {
+                               const std::uint8_t* x, int p, std::int32_t* y,
+                               MvmSession& /*session*/) const {
   parallel_for(static_cast<std::size_t>(m), [&](std::size_t mi) {
     const std::int8_t* wrow = w + mi * static_cast<std::size_t>(k);
     std::int32_t* yrow = y + mi * static_cast<std::size_t>(p);
@@ -25,7 +81,13 @@ void ExactMvmEngine::mvm_batch(const std::int8_t* w, int m, int k,
   });
 }
 
-QuantConv2d::QuantConv2d(const Conv2d& src, MvmEngine& engine, int weight_bits,
+QuantConv2d::QuantConv2d(const Conv2d& src, const MvmEngine& engine,
+                         int weight_bits, int act_bits)
+    : QuantConv2d(src, EngineKind::kDefault, weight_bits, act_bits) {
+  engine_ = &engine;
+}
+
+QuantConv2d::QuantConv2d(const Conv2d& src, EngineKind kind, int weight_bits,
                          int act_bits)
     : name_(src.name() + ".q"),
       in_channels_(src.in_channels()),
@@ -35,7 +97,7 @@ QuantConv2d::QuantConv2d(const Conv2d& src, MvmEngine& engine, int weight_bits,
       pad_(src.pad()),
       patch_(src.in_channels() * src.kernel() * src.kernel()),
       act_bits_(act_bits),
-      engine_(&engine) {
+      kind_(kind) {
   // const_cast-free copy: Parameter accessors are non-const, so snapshot
   // through a local mutable reference.
   auto& mutable_src = const_cast<Conv2d&>(src);
@@ -50,8 +112,6 @@ Tensor QuantConv2d::forward(const Tensor& input, bool /*train*/) {
   const int n = input.shape()[0];
   const int oh = conv_out_extent(input.shape()[2], kernel_, stride_, pad_);
   const int ow = conv_out_extent(input.shape()[3], kernel_, stride_, pad_);
-  Tensor cols = im2col(input, kernel_, kernel_, stride_, pad_);
-  const int p = cols.shape()[1];
 
   Tensor out({n, out_channels_, oh, ow});
   const int spatial = oh * ow;
@@ -62,6 +122,8 @@ Tensor QuantConv2d::forward(const Tensor& input, bool /*train*/) {
     for (std::size_t i = 0; i < input.size(); ++i) {
       observed_max_ = std::max(observed_max_, input[i]);
     }
+    Tensor cols = im2col(input, kernel_, kernel_, stride_, pad_);
+    const int p = cols.shape()[1];
     Tensor wdeq = dequantize(qweight_);
     Tensor out2d = matmul(wdeq, cols);
     for (int ni = 0; ni < n; ++ni) {
@@ -78,19 +140,26 @@ Tensor QuantConv2d::forward(const Tensor& input, bool /*train*/) {
   }
 
   YOLOC_CHECK(is_calibrated(), "quant conv: deploy before calibration");
+  ResolvedEngine re = resolve_engine(engine_, kind_, "quant conv");
+  MvmScratch* scratch = re.session.scratch;
+
+  im2col_into(input, kernel_, kernel_, stride_, pad_, scratch->cols);
+  const int p = scratch->cols.shape()[1];
+
   // Quantize the im2col matrix (clamp negatives to zero: wordline pulses
   // are unsigned).
-  QuantizedActivations qx =
-      quantize_unsigned_with_scale(cols, act_scale_, act_bits_);
+  quantize_unsigned_with_scale_into(scratch->cols, act_scale_, act_bits_,
+                                    scratch->qx);
 
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(out_channels_) * p);
-  engine_->mvm_batch(qweight_.data.data(), out_channels_, patch_,
-                     qx.data.data(), p, acc.data());
+  scratch->acc.resize(static_cast<std::size_t>(out_channels_) * p);
+  re.engine->mvm_batch(qweight_.data.data(), out_channels_, patch_,
+                       scratch->qx.data(), p, scratch->acc.data(),
+                       re.session);
 
   const float rescale = qweight_.scale * act_scale_;
   for (int ni = 0; ni < n; ++ni) {
     for (int c = 0; c < out_channels_; ++c) {
-      const std::int32_t* src = acc.data() +
+      const std::int32_t* src = scratch->acc.data() +
                                 static_cast<std::size_t>(c) * p +
                                 static_cast<std::size_t>(ni) * spatial;
       float* dst = out.data() + out.index4(ni, c, 0, 0);
@@ -114,13 +183,19 @@ void QuantConv2d::finalize_calibration() {
   act_scale_ = observed_max_ > 0.0f ? observed_max_ / qmax : 1.0f;
 }
 
-QuantLinear::QuantLinear(Linear& src, MvmEngine& engine, int weight_bits,
+QuantLinear::QuantLinear(Linear& src, const MvmEngine& engine, int weight_bits,
+                         int act_bits)
+    : QuantLinear(src, EngineKind::kDefault, weight_bits, act_bits) {
+  engine_ = &engine;
+}
+
+QuantLinear::QuantLinear(Linear& src, EngineKind kind, int weight_bits,
                          int act_bits)
     : name_(src.name() + ".q"),
       in_features_(src.in_features()),
       out_features_(src.out_features()),
       act_bits_(act_bits),
-      engine_(&engine) {
+      kind_(kind) {
   qweight_ = quantize_symmetric(src.weight().value, weight_bits);
   bias_ = src.has_bias() ? src.bias().value : Tensor::zeros({out_features_});
 }
@@ -146,19 +221,23 @@ Tensor QuantLinear::forward(const Tensor& input, bool /*train*/) {
   }
 
   YOLOC_CHECK(act_scale_ > 0.0f, "quant linear: deploy before calibration");
+  ResolvedEngine re = resolve_engine(engine_, kind_, "quant linear");
+  MvmScratch* scratch = re.session.scratch;
+
   // X columns = batch entries: engine wants (k x p) with k = features.
-  QuantizedActivations qx = quantize_unsigned_with_scale(
-      transpose2d(input), act_scale_, act_bits_);
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(out_features_) *
-                                batch);
-  engine_->mvm_batch(qweight_.data.data(), out_features_, in_features_,
-                     qx.data.data(), batch, acc.data());
+  transpose2d_into(input, scratch->xT);
+  quantize_unsigned_with_scale_into(scratch->xT, act_scale_, act_bits_,
+                                    scratch->qx);
+  scratch->acc.resize(static_cast<std::size_t>(out_features_) * batch);
+  re.engine->mvm_batch(qweight_.data.data(), out_features_, in_features_,
+                       scratch->qx.data(), batch, scratch->acc.data(),
+                       re.session);
   const float rescale = qweight_.scale * act_scale_;
   for (int o = 0; o < out_features_; ++o) {
     for (int b = 0; b < batch; ++b) {
       out.at2(b, o) =
           rescale * static_cast<float>(
-                        acc[static_cast<std::size_t>(o) * batch + b]) +
+                        scratch->acc[static_cast<std::size_t>(o) * batch + b]) +
           bias_[static_cast<std::size_t>(o)];
     }
   }
@@ -219,7 +298,7 @@ int fold_batchnorm_rec(Layer& layer) {
   return folds;
 }
 
-int quantize_rec(Layer& layer, MvmEngine& engine, int weight_bits,
+int quantize_rec(Layer& layer, const MvmEngine& engine, int weight_bits,
                  int act_bits) {
   int replaced = 0;
   const auto children = layer.children();
@@ -255,7 +334,7 @@ void for_each_quant_layer(Layer& layer, Fn&& fn) {
 
 int fold_batchnorm(Layer& root) { return fold_batchnorm_rec(root); }
 
-int quantize_network(Layer& root, MvmEngine& engine, int weight_bits,
+int quantize_network(Layer& root, const MvmEngine& engine, int weight_bits,
                      int act_bits) {
   YOLOC_CHECK(!root.children().empty(),
               "quantize_network: root must be a container");

@@ -6,30 +6,74 @@
 //                               the macro executes a plain integer MVM.
 //   2. quantize_network()     - every Conv2d/Linear replaced by a
 //                               QuantConv2d/QuantLinear holding int8
-//                               weights and an MvmEngine reference.
+//                               weights plus an engine binding.
 //   3. calibrate + finalize   - one forward pass over a calibration batch
-//                               records per-layer activation ranges.
-//   4. Deploy mode            - forward() now routes every MVM through
-//                               the engine: ExactMvmEngine for the integer
+//                               records per-layer activation ranges (pure
+//                               float math, no engine involved).
+//   4. Deploy mode            - forward() routes every MVM through an
+//                               MvmEngine: ExactMvmEngine for the integer
 //                               reference, or the macro-backed engine that
 //                               models the analog bitline + ADC.
+//
+// Execution model: engines are immutable and reentrant. All mutable
+// per-request state (the analog-noise RNG stream, run statistics, scratch
+// buffers) travels in an MvmSession supplied by the caller. A quantized
+// layer finds its engine either through the layer's direct binding
+// (legacy single-engine deployments via quantize_network) or through the
+// thread-local MvmBinding that the runtime's ExecutionContext installs
+// for the duration of a forward pass — which is what lets many requests
+// share one lowered network concurrently.
 //
 // Activation convention: unsigned 8-bit, zero point 0 (wordline pulses
 // encode non-negative amplitudes). Negative layer inputs clamp to zero,
 // so quantized layers must follow ReLU-family activations — the trainable
 // "-lite" networks use plain ReLU for this reason.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
 #include "tensor/quant.hpp"
 
 namespace yoloc {
 
-/// Integer matrix-vector-multiply backend.
+struct MacroRunStats;  // macro/cim_macro.hpp — sessions only hold a pointer
+
+/// Reusable buffers for the deploy-time hot loop. Owned by the caller
+/// (one per concurrent request); every field is resized on first use and
+/// reused afterwards so the per-layer inner loop stops allocating.
+struct MvmScratch {
+  Tensor cols;                       // im2col output
+  std::vector<std::uint8_t> qx;      // quantized activations
+  std::vector<std::int32_t> acc;     // int32 MVM accumulator
+  std::vector<std::int8_t> w_chunk;  // macro row-tile of the weight matrix
+  std::vector<std::uint8_t> x_chunk;
+  std::vector<std::int32_t> y_partial;
+  Tensor xT;  // transposed linear input
+};
+
+/// Mutable per-request state threaded through an engine call. Engines that
+/// model analog noise require `rng` and all engines that meter activity
+/// require `stats`; `scratch` is optional (engines fall back to local
+/// allocations when it is null).
+struct MvmSession {
+  Rng* rng = nullptr;
+  MacroRunStats* stats = nullptr;
+  MvmScratch* scratch = nullptr;
+};
+
+/// Which engine a lowered layer should execute on. Deployment assigns
+/// kRom/kSram per the parameter residency flags; kDefault is the slot
+/// used by single-engine lowering (quantize_network).
+enum class EngineKind { kDefault = 0, kRom = 1, kSram = 2 };
+
+/// Integer matrix-vector-multiply backend. Implementations are immutable
+/// and safe to share across threads; per-call state lives in the session.
 class MvmEngine {
  public:
   virtual ~MvmEngine() = default;
@@ -37,24 +81,76 @@ class MvmEngine {
   /// row-major). Implementations may model analog non-idealities, in
   /// which case Y approximates the exact product.
   virtual void mvm_batch(const std::int8_t* w, int m, int k,
-                         const std::uint8_t* x, int p, std::int32_t* y) = 0;
+                         const std::uint8_t* x, int p, std::int32_t* y,
+                         MvmSession& session) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Convenience for engines that need no session state.
+  void mvm_batch(const std::int8_t* w, int m, int k, const std::uint8_t* x,
+                 int p, std::int32_t* y) const {
+    MvmSession session;
+    mvm_batch(w, m, k, x, p, y, session);
+  }
 };
 
-/// Bit-exact integer reference backend.
+/// Bit-exact integer reference backend (stateless; ignores the session's
+/// rng/stats).
 class ExactMvmEngine final : public MvmEngine {
  public:
+  using MvmEngine::mvm_batch;  // keep the sessionless convenience visible
   void mvm_batch(const std::int8_t* w, int m, int k, const std::uint8_t* x,
-                 int p, std::int32_t* y) override;
+                 int p, std::int32_t* y, MvmSession& session) const override;
   [[nodiscard]] std::string name() const override { return "exact"; }
+};
+
+/// Thread-local execution binding: maps EngineKind -> (engine, session)
+/// for the duration of a deployed forward pass. Installed via the RAII
+/// Scope by whoever drives execution (the runtime's ExecutionContext);
+/// quantized layers look their engine up here first and fall back to
+/// their direct binding when no scope is active.
+class MvmBinding {
+ public:
+  struct Slot {
+    const MvmEngine* engine = nullptr;
+    MvmSession session;
+  };
+
+  Slot& slot(EngineKind kind) {
+    return slots_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const Slot& slot(EngineKind kind) const {
+    return slots_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Installs `binding` as this thread's active binding; restores the
+  /// previous one (supporting nesting) on destruction.
+  class Scope {
+   public:
+    explicit Scope(const MvmBinding& binding);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    const MvmBinding* prev_;
+  };
+
+  [[nodiscard]] static const MvmBinding* current();
+
+ private:
+  std::array<Slot, 3> slots_{};
 };
 
 /// Inference-only quantized convolution. See file comment for the modes.
 class QuantConv2d final : public Layer {
  public:
-  /// Snapshot the float conv's geometry and weights; `engine` must outlive
-  /// this layer.
-  QuantConv2d(const Conv2d& src, MvmEngine& engine, int weight_bits = 8,
+  /// Snapshot the float conv's geometry and weights with a direct engine
+  /// binding; `engine` must outlive this layer.
+  QuantConv2d(const Conv2d& src, const MvmEngine& engine, int weight_bits = 8,
+              int act_bits = 8);
+  /// Snapshot with a deferred binding: the engine is resolved per forward
+  /// pass from the thread-local MvmBinding slot for `kind`.
+  QuantConv2d(const Conv2d& src, EngineKind kind, int weight_bits = 8,
               int act_bits = 8);
 
   Tensor forward(const Tensor& input, bool train) override;
@@ -69,6 +165,7 @@ class QuantConv2d final : public Layer {
   [[nodiscard]] const QuantizedTensor& weights() const { return qweight_; }
   [[nodiscard]] int out_channels() const { return out_channels_; }
   [[nodiscard]] int patch_size() const { return patch_; }
+  [[nodiscard]] EngineKind engine_kind() const { return kind_; }
 
  private:
   std::string name_;
@@ -81,7 +178,8 @@ class QuantConv2d final : public Layer {
   int act_bits_;
   QuantizedTensor qweight_;  // (out_ch x patch)
   Tensor bias_;              // (out_ch), float
-  MvmEngine* engine_;
+  const MvmEngine* engine_ = nullptr;  // direct binding (may be null)
+  EngineKind kind_ = EngineKind::kDefault;
   bool calibrating_ = false;
   float observed_max_ = 0.0f;
   float act_scale_ = -1.0f;
@@ -90,7 +188,9 @@ class QuantConv2d final : public Layer {
 /// Inference-only quantized fully-connected layer.
 class QuantLinear final : public Layer {
  public:
-  QuantLinear(Linear& src, MvmEngine& engine, int weight_bits = 8,
+  QuantLinear(Linear& src, const MvmEngine& engine, int weight_bits = 8,
+              int act_bits = 8);
+  QuantLinear(Linear& src, EngineKind kind, int weight_bits = 8,
               int act_bits = 8);
 
   Tensor forward(const Tensor& input, bool train) override;
@@ -100,6 +200,7 @@ class QuantLinear final : public Layer {
   void set_calibration_mode(bool on) { calibrating_ = on; }
   void finalize_calibration();
   [[nodiscard]] float act_scale() const { return act_scale_; }
+  [[nodiscard]] EngineKind engine_kind() const { return kind_; }
 
  private:
   std::string name_;
@@ -108,7 +209,8 @@ class QuantLinear final : public Layer {
   int act_bits_;
   QuantizedTensor qweight_;  // (out x in)
   Tensor bias_;
-  MvmEngine* engine_;
+  const MvmEngine* engine_ = nullptr;  // direct binding (may be null)
+  EngineKind kind_ = EngineKind::kDefault;
   bool calibrating_ = false;
   float observed_max_ = 0.0f;
   float act_scale_ = -1.0f;
@@ -119,9 +221,9 @@ class QuantLinear final : public Layer {
 int fold_batchnorm(Layer& root);
 
 /// Replace every Conv2d / Linear reachable from root with its quantized
-/// counterpart bound to `engine`. Returns the number of replacements.
-/// Root itself must be a container.
-int quantize_network(Layer& root, MvmEngine& engine, int weight_bits = 8,
+/// counterpart bound directly to `engine`. Returns the number of
+/// replacements. Root itself must be a container.
+int quantize_network(Layer& root, const MvmEngine& engine, int weight_bits = 8,
                      int act_bits = 8);
 
 /// Run `images` through the network in calibration mode, then finalize

@@ -82,16 +82,26 @@ TrainStats train_classifier(Layer& model, const Tensor& images,
 
 double evaluate_classifier(Layer& model, const Tensor& images,
                            const std::vector<int>& labels, int batch_size) {
+  return evaluate_classifier(
+      [&model](const Tensor& batch) {
+        return model.forward(batch, /*train=*/false);
+      },
+      images, labels, batch_size);
+}
+
+double evaluate_classifier(
+    const std::function<Tensor(const Tensor&)>& forward, const Tensor& images,
+    const std::vector<int>& labels, int batch_size) {
   const int n = images.shape()[0];
   YOLOC_CHECK(static_cast<int>(labels.size()) == n, "eval: label mismatch");
+  YOLOC_CHECK(batch_size > 0, "eval: batch_size must be positive");
   int correct = 0;
   for (int start = 0; start < n; start += batch_size) {
     const int end = std::min(n, start + batch_size);
     std::vector<int> idx(static_cast<std::size_t>(end - start));
     std::iota(idx.begin(), idx.end(), start);
     Tensor batch = gather_batch(images, idx);
-    Tensor logits = model.forward(batch, /*train=*/false);
-    const auto pred = argmax_rows(logits);
+    const auto pred = argmax_rows(forward(batch));
     for (int i = start; i < end; ++i) {
       if (pred[static_cast<std::size_t>(i - start)] ==
           labels[static_cast<std::size_t>(i)]) {

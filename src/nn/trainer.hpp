@@ -7,6 +7,7 @@
 // would only blur the comparison.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -46,6 +47,13 @@ TrainStats train_classifier(Layer& model, const Tensor& images,
 double evaluate_classifier(Layer& model, const Tensor& images,
                            const std::vector<int>& labels,
                            int batch_size = 64);
+
+/// Same accuracy loop over an arbitrary forward function — lets callers
+/// route the batches through something other than Layer::forward (the
+/// deployed runtime's ExecutionContext, a remote endpoint, ...).
+double evaluate_classifier(
+    const std::function<Tensor(const Tensor&)>& forward, const Tensor& images,
+    const std::vector<int>& labels, int batch_size = 64);
 
 /// Train a grid detector in place. boxes[i] lists ground truth for image i.
 TrainStats train_detector(Layer& model, const Tensor& images,

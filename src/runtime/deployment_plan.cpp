@@ -1,0 +1,73 @@
+#include "runtime/deployment_plan.hpp"
+
+#include "common/check.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "runtime/execution_context.hpp"
+
+namespace yoloc {
+
+DeploymentOptions::DeploymentOptions()
+    : rom_macro(default_rom_macro()), sram_macro(default_sram_macro()) {}
+
+DeploymentPlan::DeploymentPlan(LayerPtr trained_model,
+                               const Tensor& calibration_images,
+                               DeploymentOptions options)
+    : options_(std::move(options)),
+      rom_macro_(options_.rom_macro),
+      sram_macro_(options_.sram_macro),
+      rom_engine_(rom_macro_, options_.mode),
+      sram_engine_(sram_macro_, options_.mode),
+      model_(std::move(trained_model)) {
+  YOLOC_CHECK(model_ != nullptr, "deployment plan: null model");
+  fold_batchnorm(*model_);
+  quantized_layers_ = lower_network(*model_);
+  YOLOC_CHECK(quantized_layers_ > 0, "deployment plan: nothing to quantize");
+  // Calibration is pure float math (dequantized-weight reference), so it
+  // runs without any engine binding and accrues no macro activity.
+  calibrate_quantized(*model_, calibration_images);
+}
+
+int DeploymentPlan::lower_network(Layer& node) {
+  int replaced = 0;
+  const auto children = node.children();
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    Layer* child = children[i];
+    if (auto* conv = dynamic_cast<Conv2d*>(child)) {
+      const EngineKind kind = conv->weight().rom_resident ? EngineKind::kRom
+                                                          : EngineKind::kSram;
+      node.replace_child(i, std::make_unique<QuantConv2d>(
+                                *conv, kind, options_.weight_bits,
+                                options_.act_bits));
+      ++replaced;
+    } else if (auto* lin = dynamic_cast<Linear*>(child)) {
+      const EngineKind kind = lin->weight().rom_resident ? EngineKind::kRom
+                                                         : EngineKind::kSram;
+      node.replace_child(i, std::make_unique<QuantLinear>(
+                                *lin, kind, options_.weight_bits,
+                                options_.act_bits));
+      ++replaced;
+    } else {
+      replaced += lower_network(*child);
+    }
+  }
+  return replaced;
+}
+
+Tensor DeploymentPlan::execute(const Tensor& images,
+                               ExecutionContext& ctx) const {
+  YOLOC_CHECK(ctx.plan_ == this, "deployment plan: foreign context");
+  MvmBinding binding;
+  binding.slot(EngineKind::kRom) = {
+      &rom_engine_, {&ctx.rom_rng_, &ctx.rom_stats_, &ctx.scratch_}};
+  binding.slot(EngineKind::kSram) = {
+      &sram_engine_, {&ctx.sram_rng_, &ctx.sram_stats_, &ctx.scratch_}};
+  MvmBinding::Scope scope(binding);
+  // Layer::forward is non-const to serve the training substrate; the
+  // deployed graph is logically const in eval mode (quantized layers are
+  // calibrated and tape caching is train-only), which is what makes
+  // concurrent execute() calls safe.
+  return model_->forward(images, /*train=*/false);
+}
+
+}  // namespace yoloc

@@ -1,0 +1,83 @@
+#pragma once
+// Deploy-time half of the serving runtime (paper Sec. 3.3, Fig. 9).
+//
+// A DeploymentPlan is produced ONCE per model and is immutable afterwards:
+//   1. BatchNorm folding,
+//   2. int8 quantization with per-layer engine selection — ROM-resident
+//      convolutions are tagged for the ROM-CiM macro model, SRAM-resident
+//      ones for the SRAM-CiM macro model,
+//   3. activation-range calibration (pure float math, engine-free).
+// It owns everything requests share: the lowered network, both CiM macro
+// models, and the two reentrant MvmEngines. It owns NO mutable per-request
+// state — noise RNG streams, run statistics and scratch buffers live in
+// ExecutionContext — so any number of contexts can execute one plan
+// concurrently (the throughput model of mixed ROM+SRAM chips such as YOCO
+// and multi-core PCM inference parts, scaled to host threads).
+
+#include <cstdint>
+#include <memory>
+
+#include "core/macro_engine.hpp"
+#include "nn/container.hpp"
+
+namespace yoloc {
+
+class ExecutionContext;
+
+struct DeploymentOptions {
+  MacroConfig rom_macro;
+  MacroConfig sram_macro;
+  int weight_bits = 8;
+  int act_bits = 8;
+  MacroMvmEngine::Mode mode = MacroMvmEngine::Mode::kAnalog;
+
+  DeploymentOptions();
+};
+
+class DeploymentPlan {
+ public:
+  /// Takes ownership of the trained model. Residency flags must already
+  /// be set; `calibration_images` drive activation-range calibration.
+  DeploymentPlan(LayerPtr trained_model, const Tensor& calibration_images,
+                 DeploymentOptions options);
+
+  // Engines point at member macros; the plan is pinned in memory.
+  DeploymentPlan(const DeploymentPlan&) = delete;
+  DeploymentPlan& operator=(const DeploymentPlan&) = delete;
+
+  /// One forward pass through the deployed network on behalf of `ctx`:
+  /// installs the context's engine binding on this thread, runs the
+  /// quantized model, accumulates activity into the context's stats.
+  /// Reentrant: distinct contexts may execute concurrently.
+  Tensor execute(const Tensor& images, ExecutionContext& ctx) const;
+
+  [[nodiscard]] const MacroMvmEngine& rom_engine() const {
+    return rom_engine_;
+  }
+  [[nodiscard]] const MacroMvmEngine& sram_engine() const {
+    return sram_engine_;
+  }
+  [[nodiscard]] const CimMacro& rom_macro() const { return rom_macro_; }
+  [[nodiscard]] const CimMacro& sram_macro() const { return sram_macro_; }
+  [[nodiscard]] const DeploymentOptions& options() const { return options_; }
+  [[nodiscard]] int quantized_layer_count() const { return quantized_layers_; }
+  /// Structural access for the OWNING path (inspection / tests) —
+  /// deliberately non-const so holders of a const DeploymentPlan& (the
+  /// server, extra contexts) cannot mutate the shared layer graph.
+  /// Mutating it while contexts are executing is undefined.
+  [[nodiscard]] Layer& model() { return *model_; }
+
+ private:
+  /// Recursive conv/linear replacement with per-layer engine selection.
+  int lower_network(Layer& node);
+
+  DeploymentOptions options_;
+  CimMacro rom_macro_;
+  CimMacro sram_macro_;
+  MacroMvmEngine rom_engine_;
+  MacroMvmEngine sram_engine_;
+  LayerPtr model_;
+  int quantized_layers_ = 0;
+};
+
+}  // namespace yoloc

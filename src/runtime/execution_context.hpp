@@ -1,0 +1,66 @@
+#pragma once
+// Serve-time half of the runtime: all mutable per-request state.
+//
+// An ExecutionContext is cheap to construct and holds exactly what one
+// in-flight request needs while executing a shared DeploymentPlan:
+//   * independent noise RNG streams for the ROM and SRAM engines,
+//   * per-request MacroRunStats for both macros,
+//   * scratch buffers (im2col matrix, quantized activations, int32
+//     accumulator, macro tiling chunks) reused across layers and calls so
+//     the hot loop stops allocating.
+//
+// Determinism: two contexts with the same seed produce bit-identical
+// outputs for the same inputs against the same plan, regardless of which
+// thread runs them or what else runs concurrently — the property the
+// runtime concurrency tests pin down.
+
+#include <cstdint>
+
+#include "macro/cim_macro.hpp"
+#include "nn/quantize.hpp"
+
+namespace yoloc {
+
+class DeploymentPlan;
+
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(const DeploymentPlan& plan,
+                            std::uint64_t noise_seed = 2024);
+
+  // Holds scratch + RNG streams; handed out by pointer into MvmSessions
+  // while executing, so keep it pinned.
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Quantized inference through the plan's macro engines. Stats
+  /// accumulate across calls until reset_stats().
+  Tensor infer(const Tensor& images);
+
+  /// Restart the noise streams from `noise_seed` (stats are untouched).
+  void reseed(std::uint64_t noise_seed);
+
+  /// Activity of the ROM / SRAM macros since the last reset.
+  [[nodiscard]] const MacroRunStats& rom_stats() const { return rom_stats_; }
+  [[nodiscard]] const MacroRunStats& sram_stats() const {
+    return sram_stats_;
+  }
+  void reset_stats();
+
+  /// Total modeled macro energy [pJ] since the last reset.
+  [[nodiscard]] double total_energy_pj() const;
+
+  [[nodiscard]] const DeploymentPlan& plan() const { return *plan_; }
+
+ private:
+  friend class DeploymentPlan;  // wires rng/stats/scratch into the binding
+
+  const DeploymentPlan* plan_;
+  Rng rom_rng_;
+  Rng sram_rng_;
+  MacroRunStats rom_stats_;
+  MacroRunStats sram_stats_;
+  MvmScratch scratch_;
+};
+
+}  // namespace yoloc

@@ -1,0 +1,132 @@
+#pragma once
+// Batched multi-threaded serving front-end over a shared DeploymentPlan.
+//
+// Requests enter a FIFO queue; each worker thread owns one
+// ExecutionContext and repeatedly forms a micro-batch (up to
+// max_microbatch queued requests with matching image geometry), stacks
+// the inputs, runs ONE forward pass through the plan, and scatters the
+// outputs back to the per-request futures. Batching amortizes the
+// per-layer engine dispatch; worker parallelism exploits host cores the
+// way a mixed ROM+SRAM chip exploits concurrently active macros.
+//
+// Determinism: each micro-batch executes on a context reseeded with
+// noise_seed + id of its first request, and per-batch stats merge into
+// the server totals in batch-formation order. With max_microbatch = 1
+// that makes request i bit-identical to a serial ExecutionContext run
+// seeded noise_seed + i — including the merged stat sums — independent
+// of worker count or scheduling. With max_microbatch > 1 and multiple
+// workers, batch COMPOSITION depends on scheduling, so analog-mode
+// outputs and stat totals can vary run to run (exact-cost outputs stay
+// bit-exact; only the noise-stream alignment and double-summation order
+// move). Pin max_microbatch = 1 when reproducibility matters more than
+// throughput.
+//
+// Workers wrap themselves in ParallelSerialGuard: inner tensor kernels run
+// inline, because parallelism is already spent at the request level.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/execution_context.hpp"
+
+namespace yoloc {
+
+struct ServerOptions {
+  /// Worker threads. 0 = parallel_workers() (which honours YOLOC_THREADS).
+  int workers = 0;
+  /// Max requests fused into one forward pass.
+  int max_microbatch = 8;
+  /// Base noise seed; micro-batches derive their stream from it.
+  std::uint64_t noise_seed = 2024;
+};
+
+struct ServerMetrics {
+  // Successfully served work only; a batch whose forward throws counts
+  // solely under failed_requests so throughput / energy-per-image
+  // figures are not skewed by work that produced no output.
+  std::uint64_t requests = 0;
+  std::uint64_t images = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t failed_requests = 0;
+  [[nodiscard]] double avg_microbatch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(const DeploymentPlan& plan,
+                           ServerOptions options = {});
+  /// Drains the queue, then joins the workers.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueue one request (rank-4 NCHW, any leading batch extent >= 1).
+  /// The future yields the model output for exactly that input.
+  std::future<Tensor> submit(Tensor images);
+
+  /// Synchronous convenience: split `images` into per-image requests,
+  /// serve them all, and re-stack the outputs in submission order.
+  Tensor infer(const Tensor& images);
+
+  /// Block until every accepted request has completed — futures
+  /// fulfilled AND stats/metrics accounting settled. Futures become
+  /// ready slightly before the accounting, so call this before reading
+  /// stats/metrics when you need a consistent snapshot.
+  void wait_idle();
+
+  /// Merged macro activity across completed micro-batches (deterministic
+  /// batch-order merge).
+  [[nodiscard]] MacroRunStats rom_stats() const;
+  [[nodiscard]] MacroRunStats sram_stats() const;
+  [[nodiscard]] double total_energy_pj() const;
+  void reset_stats();
+
+  [[nodiscard]] ServerMetrics metrics() const;
+  [[nodiscard]] int worker_count() const {
+    return static_cast<int>(threads_.size());
+  }
+
+ private:
+  struct Request {
+    Tensor input;
+    std::promise<Tensor> promise;
+    std::uint64_t id = 0;
+  };
+  struct BatchStats {
+    MacroRunStats rom;
+    MacroRunStats sram;
+  };
+
+  void worker_loop();
+
+  const DeploymentPlan* plan_;
+  ServerOptions options_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+  std::uint64_t next_request_id_ = 0;
+  std::uint64_t next_batch_id_ = 0;
+  std::uint64_t next_merge_id_ = 0;
+  int in_flight_ = 0;
+  std::map<std::uint64_t, BatchStats> pending_stats_;
+  MacroRunStats rom_total_;
+  MacroRunStats sram_total_;
+  ServerMetrics metrics_;
+};
+
+}  // namespace yoloc

@@ -58,46 +58,78 @@ void scale_inplace(Tensor& a, float s) {
   for (std::size_t i = 0; i < a.size(); ++i) pa[i] *= s;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   YOLOC_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 required");
   const int m = a.shape()[0];
   const int k = a.shape()[1];
   YOLOC_CHECK(b.shape()[0] == k, "matmul: inner dims mismatch");
   const int n = b.shape()[1];
-  Tensor c({m, n});
+  out.reset({m, n});  // keeps capacity across calls with varying shapes
+  out.zero();
   const float* pa = a.data();
   const float* pb = b.data();
-  float* pc = c.data();
-  // ikj loop order keeps the innermost access contiguous in both b and c.
-  const auto row_product = [&](std::size_t i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + static_cast<std::size_t>(kk) * n;
-      float* crow = pc + i * n;
-      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  float* pc = out.data();
+  // Blocked ikj: a row-block panel of A meets a kKc x kNc panel of B while
+  // both stay cache-resident; the innermost j access is contiguous in both
+  // b and c. The row-block is also the parallel grain, so shrink it when m
+  // is small relative to the worker count — a tall-skinny cap of 32 would
+  // otherwise serialize the conv-sized products (m = out_channels).
+  constexpr int kKc = 128;
+  constexpr int kNc = 256;
+  const int workers = static_cast<int>(parallel_workers());
+  const int mc = std::clamp(m / (4 * workers), 1, 32);
+  const auto block_product = [&](std::size_t bi) {
+    const int i0 = static_cast<int>(bi) * mc;
+    const int i1 = std::min(m, i0 + mc);
+    for (int k0 = 0; k0 < k; k0 += kKc) {
+      const int k1 = std::min(k, k0 + kKc);
+      for (int j0 = 0; j0 < n; j0 += kNc) {
+        const int j1 = std::min(n, j0 + kNc);
+        for (int i = i0; i < i1; ++i) {
+          const float* arow = pa + static_cast<std::size_t>(i) * k;
+          float* crow = pc + static_cast<std::size_t>(i) * n;
+          for (int kk = k0; kk < k1; ++kk) {
+            const float aik = arow[kk];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + static_cast<std::size_t>(kk) * n;
+            for (int j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
     }
   };
+  const std::size_t row_blocks =
+      static_cast<std::size_t>((m + mc - 1) / mc);
   // Parallel dispatch only pays off for sizeable products.
-  if (static_cast<std::size_t>(m) * k * n < (1u << 16)) {
-    for (int i = 0; i < m; ++i) row_product(static_cast<std::size_t>(i));
+  if (static_cast<std::size_t>(m) * k * n < (1u << 16) || row_blocks == 1) {
+    for (std::size_t bi = 0; bi < row_blocks; ++bi) block_product(bi);
   } else {
-    parallel_for(static_cast<std::size_t>(m), row_product);
+    parallel_for(row_blocks, block_product);
   }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_into(a, b, c);
   return c;
 }
 
-Tensor transpose2d(const Tensor& a) {
+void transpose2d_into(const Tensor& a, Tensor& out) {
   YOLOC_CHECK(a.rank() == 2, "transpose2d: rank-2 required");
   const int m = a.shape()[0];
   const int n = a.shape()[1];
-  Tensor t({n, m});
+  out.reset({n, m});  // keeps capacity; every element is written below
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < n; ++j) {
-      t.data()[static_cast<std::size_t>(j) * m + i] =
+      out.data()[static_cast<std::size_t>(j) * m + i] =
           a.data()[static_cast<std::size_t>(i) * n + j];
     }
   }
+}
+
+Tensor transpose2d(const Tensor& a) {
+  Tensor t;
+  transpose2d_into(a, t);
   return t;
 }
 
@@ -166,7 +198,8 @@ int conv_out_extent(int in, int kernel, int stride, int pad) {
   return eff / stride + 1;
 }
 
-Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad) {
+void im2col_into(const Tensor& input, int kh, int kw, int stride, int pad,
+                 Tensor& cols) {
   YOLOC_CHECK(input.rank() == 4, "im2col: NCHW input required");
   const int n = input.shape()[0];
   const int c = input.shape()[1];
@@ -175,7 +208,11 @@ Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad) {
   const int oh = conv_out_extent(h, kh, stride, pad);
   const int ow = conv_out_extent(w, kw, stride, pad);
   const int patch = c * kh * kw;
-  Tensor cols({patch, n * oh * ow});
+  const int cols_n = n * oh * ow;
+  // Capacity-preserving reshape: successive conv layers with different
+  // geometries reuse one scratch allocation (every element, padding
+  // included, is written below).
+  cols.reset({patch, cols_n});
   float* pc = cols.data();
   const int col_stride = n * oh * ow;
   parallel_for(static_cast<std::size_t>(n), [&](std::size_t ni) {
@@ -201,6 +238,11 @@ Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad) {
       }
     }
   });
+}
+
+Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad) {
+  Tensor cols;
+  im2col_into(input, kh, kw, stride, pad, cols);
   return cols;
 }
 

@@ -25,8 +25,15 @@ void scale_inplace(Tensor& a, float s);
 
 /// Rank-2 matrix product: (M x K) * (K x N) -> (M x N).
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// Cache-blocked rank-2 matrix product writing into caller-provided
+/// storage. `out` is reshaped/reallocated only when its shape mismatches,
+/// so hot loops that reuse the same `out` tensor stop allocating per call.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
 /// Rank-2 transpose.
 Tensor transpose2d(const Tensor& a);
+/// Rank-2 transpose into caller-provided storage (reallocated only on
+/// shape mismatch).
+void transpose2d_into(const Tensor& a, Tensor& out);
 
 /// Row-wise softmax over a rank-2 (batch x classes) tensor.
 Tensor softmax_rows(const Tensor& logits);
@@ -45,6 +52,10 @@ float max_abs_diff(const Tensor& a, const Tensor& b);
 /// rows = C*kh*kw ("patch" dimension) and cols = N*out_h*out_w.
 /// Zero padding `pad` on all sides, square stride.
 Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad);
+/// im2col writing into caller-provided storage (reallocated only on shape
+/// mismatch) — the deploy-time hot path reuses one scratch tensor.
+void im2col_into(const Tensor& input, int kh, int kw, int stride, int pad,
+                 Tensor& cols);
 
 /// Inverse scatter-add of im2col (used by conv backward-to-input).
 Tensor col2im(const Tensor& cols, const std::vector<int>& input_shape, int kh,

@@ -42,18 +42,23 @@ QuantizedActivations quantize_unsigned(const Tensor& t, int bits) {
 
 QuantizedActivations quantize_unsigned_with_scale(const Tensor& t, float scale,
                                                   int bits) {
-  YOLOC_CHECK(scale > 0.0f, "activation scale must be positive");
-  const int qmax = unsigned_qmax(bits);
   QuantizedActivations q;
   q.shape = t.shape();
   q.scale = scale;
-  q.data.resize(t.size());
+  quantize_unsigned_with_scale_into(t, scale, bits, q.data);
+  return q;
+}
+
+void quantize_unsigned_with_scale_into(const Tensor& t, float scale, int bits,
+                                       std::vector<std::uint8_t>& out) {
+  YOLOC_CHECK(scale > 0.0f, "activation scale must be positive");
+  const int qmax = unsigned_qmax(bits);
+  out.resize(t.size());
   const float inv = 1.0f / scale;
   for (std::size_t i = 0; i < t.size(); ++i) {
     const int v = static_cast<int>(std::lround(std::max(0.0f, t[i]) * inv));
-    q.data[i] = static_cast<std::uint8_t>(std::clamp(v, 0, qmax));
+    out[i] = static_cast<std::uint8_t>(std::clamp(v, 0, qmax));
   }
-  return q;
 }
 
 Tensor dequantize(const QuantizedTensor& q) {

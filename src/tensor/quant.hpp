@@ -46,6 +46,11 @@ QuantizedActivations quantize_unsigned(const Tensor& t, int bits = 8);
 QuantizedActivations quantize_unsigned_with_scale(const Tensor& t,
                                                   float scale, int bits = 8);
 
+/// Same, writing into caller-provided storage (resized only when needed)
+/// — the deploy-time hot path reuses one scratch vector per request.
+void quantize_unsigned_with_scale_into(const Tensor& t, float scale, int bits,
+                                       std::vector<std::uint8_t>& out);
+
 Tensor dequantize(const QuantizedTensor& q);
 Tensor dequantize(const QuantizedActivations& q);
 

@@ -26,6 +26,12 @@ Tensor::Tensor(std::vector<int> shape)
 
 Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
 
+void Tensor::reset(std::vector<int> new_shape) {
+  const std::size_t n = checked_element_count(new_shape);
+  shape_ = std::move(new_shape);
+  data_.resize(n);
+}
+
 Tensor Tensor::full(std::vector<int> shape, float value) {
   Tensor t(std::move(shape));
   t.fill(value);

@@ -66,6 +66,12 @@ class Tensor {
   /// Same data, new shape (element count must match).
   [[nodiscard]] Tensor reshaped(std::vector<int> new_shape) const;
 
+  /// Re-shape in place, resizing storage but KEEPING the underlying
+  /// capacity — the scratch-buffer primitive behind the *_into kernels.
+  /// Newly grown elements are zero; retained elements keep their (stale)
+  /// payload, so callers must overwrite or zero() as appropriate.
+  void reset(std::vector<int> new_shape);
+
   void fill(float value);
   void zero() { fill(0.0f); }
 
