@@ -9,9 +9,12 @@
 // expected to show ~min(workers, H)x images/s over the 1-worker row.
 // YOLOC_THREADS pins the default worker count for CI.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -19,6 +22,7 @@
 #include "nn/zoo.hpp"
 #include "runtime/deployment_plan.hpp"
 #include "runtime/inference_server.hpp"
+#include "runtime/plan_serde.hpp"
 
 namespace {
 
@@ -111,9 +115,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto plan = build_plan(mode);
   const char* mode_name =
       mode == MacroMvmEngine::Mode::kAnalog ? "analog" : "exact-cost";
+
+  // Cold-start comparison: lowering + calibration from the float model
+  // vs. rebuilding the same plan from a .yolocplan artifact. The serving
+  // rows below run on the LOADED plan, so the whole trajectory exercises
+  // the calibration-free startup path.
+  const auto build_start = Clock::now();
+  auto fresh = build_plan(mode);
+  const double calibrate_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - build_start)
+          .count();
+  // PID-unique name: concurrent bench runs must not clobber each other's
+  // artifact (mode travels inside it — a collision would mislabel rows).
+  const auto plan_path =
+      std::filesystem::temp_directory_path() /
+      ("bench_serving." + std::to_string(::getpid()) + kPlanFileExtension);
+  save_plan(*fresh, plan_path.string());
+  fresh.reset();
+  const auto load_start = Clock::now();
+  auto plan = load_plan(plan_path.string());
+  const double load_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - load_start)
+          .count();
+  const auto plan_bytes = std::filesystem::file_size(plan_path);
+  std::filesystem::remove(plan_path);
+  std::printf(
+      "{\"bench\":\"serving_startup\",\"mode\":\"%s\","
+      "\"startup_ms\":{\"calibrate\":%.3f,\"load_plan\":%.3f},"
+      "\"plan_bytes\":%llu}\n",
+      mode_name, calibrate_ms, load_ms,
+      static_cast<unsigned long long>(plan_bytes));
+  std::fflush(stdout);
+
   const unsigned host_cores = std::thread::hardware_concurrency();
 
   for (const int workers : {1, 4, 8}) {

@@ -1,0 +1,156 @@
+// Deployment artifact round trip (the paper's tape-out lifecycle in
+// software): lower a model ONCE into a DeploymentPlan, freeze it as a
+// .yolocplan artifact, then cold-start serving from that artifact in a
+// state that holds neither the float model nor any calibration images.
+//
+//   build/serve_from_plan                 # save -> cold-load -> serve demo
+//   build/serve_from_plan --save PATH     # write an artifact and exit
+//   build/serve_from_plan --load PATH     # serve from an existing artifact
+//
+// The --save mode doubles as the CTest fixture that provides the golden
+// artifact for `ctest -L serde` (a true cross-process round trip).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "nn/zoo.hpp"
+#include "runtime/execution_context.hpp"
+#include "runtime/inference_server.hpp"
+#include "runtime/plan_serde.hpp"
+
+namespace {
+
+using namespace yoloc;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kImageSize = 16;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Lower a VGG-8-lite (backbone in ROM, head in SRAM) through the full
+/// deploy pipeline: BN fold -> int8 -> engine selection -> calibration.
+std::unique_ptr<DeploymentPlan> build_plan() {
+  ZooConfig zoo;
+  zoo.image_size = kImageSize;
+  zoo.base_width = 8;
+  zoo.num_classes = 10;
+  LayerPtr model = build_vgg8_lite(zoo, plain_conv_unit);
+  for (Parameter* p : model->parameters()) {
+    p->rom_resident = p->name.find("backbone") != std::string::npos;
+  }
+  Rng rng(7);
+  Tensor calib =
+      Tensor::rand_uniform({8, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  return std::make_unique<DeploymentPlan>(std::move(model), calib,
+                                          DeploymentOptions{});
+}
+
+void serve_demo(const DeploymentPlan& plan) {
+  ServerOptions options;
+  options.max_microbatch = 4;
+  InferenceServer server(plan, options);
+  Rng rng(99);
+  Tensor traffic =
+      Tensor::rand_uniform({16, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  (void)server.infer(traffic);
+  server.wait_idle();
+  const ServerMetrics metrics = server.metrics();
+  std::printf(
+      "served %llu images on %d workers in %llu micro-batches, "
+      "%.1f pJ/image macro energy\n",
+      static_cast<unsigned long long>(metrics.images), server.worker_count(),
+      static_cast<unsigned long long>(metrics.batches),
+      server.total_energy_pj() / static_cast<double>(metrics.images));
+}
+
+int save_artifact(const std::string& path) {
+  const auto start = Clock::now();
+  auto plan = build_plan();
+  const double build_ms = ms_since(start);
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  save_plan(*plan, path);
+  std::printf("lowered + calibrated in %.1f ms; saved %llu-byte plan to %s\n",
+              build_ms,
+              static_cast<unsigned long long>(std::filesystem::file_size(path)),
+              path.c_str());
+  return 0;
+}
+
+int load_and_serve(const std::string& path) {
+  const auto start = Clock::now();
+  auto plan = load_plan(path);
+  std::printf("cold-loaded %s in %.1f ms (%d quantized layers, "
+              "no calibration run)\n",
+              path.c_str(), ms_since(start), plan->quantized_layer_count());
+  serve_demo(*plan);
+  return 0;
+}
+
+int round_trip_demo() {
+  // PID-unique name so concurrent demo runs don't clobber each other.
+  const auto path =
+      (std::filesystem::temp_directory_path() /
+       ("serve_from_plan." + std::to_string(::getpid()) + kPlanFileExtension))
+          .string();
+
+  const auto build_start = Clock::now();
+  auto original = build_plan();
+  const double build_ms = ms_since(build_start);
+  save_plan(*original, path);
+
+  // Reference output before the original plan (and with it every float
+  // weight and calibration artifact) is destroyed.
+  Rng rng(42);
+  Tensor probe =
+      Tensor::rand_uniform({2, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  ExecutionContext ref_ctx(*original, 2024);
+  Tensor reference = ref_ctx.infer(probe);
+  original.reset();
+
+  const auto load_start = Clock::now();
+  auto loaded = load_plan(path);
+  const double load_ms = ms_since(load_start);
+  std::printf("startup: calibrate-from-scratch %.1f ms vs load-from-plan "
+              "%.1f ms (%.0fx faster cold start)\n",
+              build_ms, load_ms, build_ms / load_ms);
+
+  ExecutionContext ctx(*loaded, 2024);
+  Tensor served = ctx.infer(probe);
+  const bool identical =
+      same_shape(reference, served) &&
+      std::memcmp(reference.data(), served.data(),
+                  reference.size() * sizeof(float)) == 0;
+  std::printf("loaded plan output bit-identical to saver: %s\n",
+              identical ? "yes" : "NO — format bug");
+
+  serve_demo(*loaded);
+  std::filesystem::remove(path);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string save_path, load_path;
+  for (int i = 1; i < argc; ++i) {
+    const bool is_save = std::strcmp(argv[i], "--save") == 0;
+    const bool is_load = std::strcmp(argv[i], "--load") == 0;
+    if ((!is_save && !is_load) || i + 1 >= argc) {
+      std::fprintf(stderr,
+                   "usage: serve_from_plan [--save PATH | --load PATH]\n");
+      return 2;
+    }
+    (is_save ? save_path : load_path) = argv[++i];
+  }
+  if (!save_path.empty()) return save_artifact(save_path);
+  if (!load_path.empty()) return load_and_serve(load_path);
+  return round_trip_demo();
+}

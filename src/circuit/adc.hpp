@@ -16,6 +16,8 @@ struct AdcParams {
   double noise_sigma_v = 0.002; // input-referred noise [V, 1 sigma]
   double energy_pj = 0.18;      // per conversion [pJ] (5b SAR @ 28nm class)
   double t_conv_ns = 1.1125;    // conversion time [ns]
+
+  bool operator==(const AdcParams&) const = default;
 };
 
 class Adc {

@@ -28,6 +28,8 @@ struct BitlineParams {
   double t_pulse_ns = 0.35;     // wordline pulse width [ns]
   /// Relative per-cell current mismatch (1 sigma). ROM ~2%, SRAM ~5%.
   double sigma_cell = 0.02;
+
+  bool operator==(const BitlineParams&) const = default;
 };
 
 class BitlineModel {

@@ -26,6 +26,8 @@ struct ArrayEnergyParams {
   double wl_pulse_pj = 0.0006;   // one wordline pulse on one row
   double shift_add_pj = 0.012;   // one digital shift-add accumulation
   double dac_driver_pj = 0.001;  // input-bit driver, per row per cycle
+
+  bool operator==(const ArrayEnergyParams&) const = default;
 };
 
 /// Accumulated activity counters for one or more array operations.

@@ -1,0 +1,16 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the integrity
+// check used by the deployment-plan artifact format (.yolocplan section
+// table). Matches zlib's crc32(): crc32("123456789") == 0xCBF43926.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace yoloc {
+
+/// CRC-32 of `size` bytes at `data`. Pass a previous result as `seed` to
+/// checksum a stream incrementally (seed 0 starts a fresh checksum).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace yoloc

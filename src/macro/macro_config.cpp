@@ -5,6 +5,52 @@
 
 namespace yoloc {
 
+void MacroConfig::validate() const {
+  const auto& g = geometry;
+  YOLOC_CHECK(g.rows > 0 && g.cols > 0 && g.subarrays > 0,
+              "macro config: non-positive geometry");
+  YOLOC_CHECK(g.weight_bits >= 1 && g.weight_bits <= 16,
+              "macro config: weight_bits out of range");
+  YOLOC_CHECK(g.cols % g.weight_bits == 0 && g.weights_per_row() >= 1,
+              "macro config: cols must hold a whole number of weights");
+  YOLOC_CHECK(g.input_bits >= 1 && g.input_bits <= 16,
+              "macro config: input_bits out of range");
+  YOLOC_CHECK(g.rows_per_activation >= 1 && g.rows_per_activation <= g.rows,
+              "macro config: rows_per_activation out of [1, rows]");
+  YOLOC_CHECK(g.adc_per_subarray >= 1,
+              "macro config: adc_per_subarray must be positive");
+  YOLOC_CHECK(g.adc_bits >= 1 && g.adc_bits <= 16,
+              "macro config: adc_bits out of range");
+  YOLOC_CHECK(g.clock_ns > 0.0, "macro config: non-positive clock");
+  YOLOC_CHECK(adc.bits >= 1 && adc.bits <= 16,
+              "macro config: ADC resolution out of range");
+  YOLOC_CHECK(adc.v_hi > adc.v_lo, "macro config: ADC full-scale inverted");
+  YOLOC_CHECK(adc.noise_sigma_v >= 0.0 && adc.energy_pj >= 0.0 &&
+                  adc.t_conv_ns > 0.0,
+              "macro config: bad ADC noise/energy/timing");
+  YOLOC_CHECK(bitline.c_bl_ff > 0.0 && bitline.i_cell_ua > 0.0 &&
+                  bitline.t_pulse_ns > 0.0,
+              "macro config: non-positive bitline electricals");
+  YOLOC_CHECK(bitline.v_precharge > bitline.v_floor,
+              "macro config: bitline precharge below discharge floor");
+  YOLOC_CHECK(bitline.sigma_cell >= 0.0,
+              "macro config: negative cell mismatch");
+  YOLOC_CHECK(energy.wl_pulse_pj >= 0.0 && energy.shift_add_pj >= 0.0 &&
+                  energy.dac_driver_pj >= 0.0,
+              "macro config: negative event energy");
+  YOLOC_CHECK(area.cell_area_um2 > 0.0 && area.adc_area_um2 >= 0.0 &&
+                  area.driver_area_per_row_um2 >= 0.0 &&
+                  area.shift_add_area_um2 >= 0.0 &&
+                  area.macro_overhead_um2 >= 0.0,
+              "macro config: bad area constants");
+  YOLOC_CHECK(write_energy_pj_per_bit >= 0.0 &&
+                  write_bandwidth_bits_per_ns >= 0.0 &&
+                  standby_power_uw >= 0.0,
+              "macro config: negative write/standby costs");
+  YOLOC_CHECK(writable() || write_bandwidth_bits_per_ns == 0.0,
+              "macro config: ROM macros cannot have a write port");
+}
+
 double MacroConfig::area_mm2() const {
   const auto& g = geometry;
   const double cells_um2 = g.capacity_bits() * area.cell_area_um2;

@@ -38,6 +38,8 @@ struct MacroGeometry {
   }
   /// Weights stored per subarray row (cols / weight_bits).
   [[nodiscard]] int weights_per_row() const { return cols / weight_bits; }
+
+  bool operator==(const MacroGeometry&) const = default;
 };
 
 struct MacroAreaParams {
@@ -48,6 +50,8 @@ struct MacroAreaParams {
   double shift_add_area_um2 = 450.0;
   /// Fixed macro-level overhead (controller, decoder, R/W IO) [um^2].
   double macro_overhead_um2 = 16000.0;
+
+  bool operator==(const MacroAreaParams&) const = default;
 };
 
 struct MacroConfig {
@@ -64,6 +68,16 @@ struct MacroConfig {
   double standby_power_uw = 0.0;
 
   [[nodiscard]] bool writable() const { return kind == MacroKind::kSram; }
+
+  /// Field-wise equality — two configs that compare equal produce
+  /// bit-identical macro behaviour (geometry, analog params, costs).
+  bool operator==(const MacroConfig&) const = default;
+
+  /// Fail-fast sanity checks on every field the functional and cost
+  /// models consume. Called when a DeploymentPlan is built AND when a
+  /// serialized plan is loaded, so a corrupt or hand-edited artifact
+  /// cannot smuggle in unphysical hardware parameters.
+  void validate() const;
 
   /// Total macro area [mm^2] from the component model.
   [[nodiscard]] double area_mm2() const;

@@ -14,6 +14,7 @@ class ReLU final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "relu"; }
+  [[nodiscard]] LayerKind kind() const override { return LayerKind::kReLU; }
 
  private:
   Tensor mask_;  // 1 where input > 0
@@ -26,6 +27,10 @@ class LeakyReLU final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "leaky_relu"; }
+  [[nodiscard]] LayerKind kind() const override {
+    return LayerKind::kLeakyReLU;
+  }
+  [[nodiscard]] float negative_slope() const { return slope_; }
 
  private:
   float slope_;
@@ -38,6 +43,9 @@ class Identity final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "identity"; }
+  [[nodiscard]] LayerKind kind() const override {
+    return LayerKind::kIdentity;
+  }
 };
 
 /// (N,C,H,W) -> (N, C*H*W).
@@ -46,6 +54,7 @@ class Flatten final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "flatten"; }
+  [[nodiscard]] LayerKind kind() const override { return LayerKind::kFlatten; }
 
  private:
   std::vector<int> input_shape_;

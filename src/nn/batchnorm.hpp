@@ -19,9 +19,13 @@ class BatchNorm2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] LayerKind kind() const override {
+    return LayerKind::kBatchNorm2d;
+  }
 
   [[nodiscard]] int channels() const { return channels_; }
   [[nodiscard]] float eps() const { return eps_; }
+  [[nodiscard]] float momentum() const { return momentum_; }
   Parameter& gamma() { return gamma_; }
   Parameter& beta() { return beta_; }
   Tensor& running_mean() { return running_mean_; }

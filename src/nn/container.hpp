@@ -28,6 +28,9 @@ class Sequential final : public Layer {
   [[nodiscard]] std::string name() const override {
     return name_.empty() ? "sequential" : name_;
   }
+  [[nodiscard]] LayerKind kind() const override {
+    return LayerKind::kSequential;
+  }
 
   [[nodiscard]] std::size_t size() const { return layers_.size(); }
   [[nodiscard]] Layer& at(std::size_t i) { return *layers_.at(i); }
@@ -54,6 +57,9 @@ class ParallelSum final : public Layer {
   std::vector<Layer*> children() override;
   std::unique_ptr<Layer> replace_child(std::size_t i, LayerPtr l) override;
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] LayerKind kind() const override {
+    return LayerKind::kParallelSum;
+  }
 
   [[nodiscard]] std::size_t branch_count() const { return branches_.size(); }
   [[nodiscard]] Layer& branch(std::size_t i) { return *branches_.at(i); }

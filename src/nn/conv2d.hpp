@@ -23,6 +23,7 @@ class Conv2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] LayerKind kind() const override { return LayerKind::kConv2d; }
 
   [[nodiscard]] int in_channels() const { return in_channels_; }
   [[nodiscard]] int out_channels() const { return out_channels_; }

@@ -8,6 +8,7 @@
 // optimizer honours, and a `rom_resident` flag the area model uses to
 // split bits between ROM-CiM and SRAM-CiM.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,27 @@
 #include "tensor/tensor.hpp"
 
 namespace yoloc {
+
+/// Structural identity of a layer, used by graph transforms and by the
+/// deployment-plan serializer (src/runtime/plan_serde.*). The numeric
+/// values are part of the on-disk .yolocplan format — never renumber,
+/// only append.
+enum class LayerKind : std::uint32_t {
+  kOpaque = 0,  // layers with no serializable identity (default)
+  kSequential = 1,
+  kParallelSum = 2,
+  kConv2d = 3,
+  kLinear = 4,
+  kQuantConv2d = 5,
+  kQuantLinear = 6,
+  kReLU = 7,
+  kLeakyReLU = 8,
+  kIdentity = 9,
+  kFlatten = 10,
+  kMaxPool2d = 11,
+  kGlobalAvgPool = 12,
+  kBatchNorm2d = 13,
+};
 
 /// A learnable tensor with its gradient accumulator.
 struct Parameter {
@@ -66,6 +88,11 @@ class Layer {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Structural identity for graph walks and plan serialization. Layers
+  /// that never appear in a serialized deployment plan may keep the
+  /// kOpaque default; the serializer fails loudly on them.
+  [[nodiscard]] virtual LayerKind kind() const { return LayerKind::kOpaque; }
 };
 
 /// Shorthand for the ubiquitous owning pointer.

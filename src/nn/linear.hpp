@@ -14,6 +14,7 @@ class Linear final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] LayerKind kind() const override { return LayerKind::kLinear; }
 
   [[nodiscard]] int in_features() const { return in_features_; }
   [[nodiscard]] int out_features() const { return out_features_; }

@@ -13,6 +13,10 @@ class MaxPool2d final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "maxpool"; }
+  [[nodiscard]] LayerKind kind() const override {
+    return LayerKind::kMaxPool2d;
+  }
+  [[nodiscard]] int window() const { return window_; }
 
  private:
   int window_;
@@ -26,6 +30,9 @@ class GlobalAvgPool final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "gap"; }
+  [[nodiscard]] LayerKind kind() const override {
+    return LayerKind::kGlobalAvgPool;
+  }
 
  private:
   std::vector<int> input_shape_;

@@ -1,6 +1,7 @@
 #include "nn/quantize.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
@@ -106,6 +107,46 @@ QuantConv2d::QuantConv2d(const Conv2d& src, EngineKind kind, int weight_bits,
                          : Tensor::zeros({out_channels_});
 }
 
+QuantConv2d::QuantConv2d(std::string layer_name, int in_channels,
+                         int out_channels, int kernel, int stride, int pad,
+                         int act_bits, QuantizedTensor qweight, Tensor bias,
+                         EngineKind kind, float act_scale)
+    : name_(std::move(layer_name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      patch_(0),  // set below, after the geometry is range-checked
+      act_bits_(act_bits),
+      qweight_(std::move(qweight)),
+      bias_(std::move(bias)),
+      kind_(kind),
+      act_scale_(act_scale) {
+  YOLOC_CHECK(in_channels_ > 0 && out_channels_ > 0 && kernel_ > 0 &&
+                  stride_ > 0 && pad_ >= 0,
+              "quant conv restore: bad geometry");
+  // 64-bit guard: a hand-edited artifact must not be able to overflow
+  // the int patch product before the shape checks run.
+  const long long patch_wide = static_cast<long long>(in_channels_) *
+                               kernel_ * kernel_;
+  YOLOC_CHECK(patch_wide <= std::numeric_limits<int>::max(),
+              "quant conv restore: patch size overflow");
+  patch_ = static_cast<int>(patch_wide);
+  YOLOC_CHECK(act_bits_ >= 1 && act_bits_ <= 8,
+              "quant conv restore: bad act_bits");
+  YOLOC_CHECK(qweight_.shape == (std::vector<int>{out_channels_, patch_}),
+              "quant conv restore: weight shape mismatch");
+  YOLOC_CHECK(qweight_.data.size() ==
+                  static_cast<std::size_t>(out_channels_) * patch_,
+              "quant conv restore: weight payload mismatch");
+  YOLOC_CHECK(qweight_.scale > 0.0f, "quant conv restore: bad weight scale");
+  YOLOC_CHECK(bias_.size() == static_cast<std::size_t>(out_channels_),
+              "quant conv restore: bias size mismatch");
+  YOLOC_CHECK(act_scale_ > 0.0f,
+              "quant conv restore: uncalibrated activation scale");
+}
+
 Tensor QuantConv2d::forward(const Tensor& input, bool /*train*/) {
   YOLOC_CHECK(input.rank() == 4 && input.shape()[1] == in_channels_,
               "quant conv: bad input");
@@ -198,6 +239,34 @@ QuantLinear::QuantLinear(Linear& src, EngineKind kind, int weight_bits,
       kind_(kind) {
   qweight_ = quantize_symmetric(src.weight().value, weight_bits);
   bias_ = src.has_bias() ? src.bias().value : Tensor::zeros({out_features_});
+}
+
+QuantLinear::QuantLinear(std::string layer_name, int in_features,
+                         int out_features, int act_bits,
+                         QuantizedTensor qweight, Tensor bias, EngineKind kind,
+                         float act_scale)
+    : name_(std::move(layer_name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      act_bits_(act_bits),
+      qweight_(std::move(qweight)),
+      bias_(std::move(bias)),
+      kind_(kind),
+      act_scale_(act_scale) {
+  YOLOC_CHECK(in_features_ > 0 && out_features_ > 0,
+              "quant linear restore: bad geometry");
+  YOLOC_CHECK(act_bits_ >= 1 && act_bits_ <= 8,
+              "quant linear restore: bad act_bits");
+  YOLOC_CHECK(qweight_.shape == (std::vector<int>{out_features_, in_features_}),
+              "quant linear restore: weight shape mismatch");
+  YOLOC_CHECK(qweight_.data.size() ==
+                  static_cast<std::size_t>(out_features_) * in_features_,
+              "quant linear restore: weight payload mismatch");
+  YOLOC_CHECK(qweight_.scale > 0.0f, "quant linear restore: bad weight scale");
+  YOLOC_CHECK(bias_.size() == static_cast<std::size_t>(out_features_),
+              "quant linear restore: bias size mismatch");
+  YOLOC_CHECK(act_scale_ > 0.0f,
+              "quant linear restore: uncalibrated activation scale");
 }
 
 Tensor QuantLinear::forward(const Tensor& input, bool /*train*/) {
@@ -351,6 +420,23 @@ void calibrate_quantized(Layer& root, const Tensor& images) {
     if (qc != nullptr) qc->finalize_calibration();
     if (ql != nullptr) ql->finalize_calibration();
   });
+}
+
+int count_quantized_layers(Layer& root) {
+  int count = 0;
+  for_each_quant_layer(root, [&count](QuantConv2d* qc, QuantLinear* ql) {
+    if (qc != nullptr || ql != nullptr) ++count;
+  });
+  return count;
+}
+
+bool quantized_layers_calibrated(Layer& root) {
+  bool ok = true;
+  for_each_quant_layer(root, [&ok](QuantConv2d* qc, QuantLinear* ql) {
+    if (qc != nullptr && !qc->is_calibrated()) ok = false;
+    if (ql != nullptr && !ql->is_calibrated()) ok = false;
+  });
+  return ok;
 }
 
 }  // namespace yoloc

@@ -152,10 +152,21 @@ class QuantConv2d final : public Layer {
   /// pass from the thread-local MvmBinding slot for `kind`.
   QuantConv2d(const Conv2d& src, EngineKind kind, int weight_bits = 8,
               int act_bits = 8);
+  /// Deserialization: rebuild an already-lowered, already-calibrated layer
+  /// from a saved plan image (src/runtime/plan_serde.*). `qweight` must be
+  /// (out_channels x in_channels*kernel*kernel), `bias` (out_channels),
+  /// `act_scale` a finalized calibration scale (> 0).
+  QuantConv2d(std::string layer_name, int in_channels, int out_channels,
+              int kernel, int stride, int pad, int act_bits,
+              QuantizedTensor qweight, Tensor bias, EngineKind kind,
+              float act_scale);
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;  // throws
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] LayerKind kind() const override {
+    return LayerKind::kQuantConv2d;
+  }
 
   void set_calibration_mode(bool on) { calibrating_ = on; }
   /// Convert the recorded input range into the deployed activation scale.
@@ -163,7 +174,13 @@ class QuantConv2d final : public Layer {
   [[nodiscard]] bool is_calibrated() const { return act_scale_ > 0.0f; }
   [[nodiscard]] float act_scale() const { return act_scale_; }
   [[nodiscard]] const QuantizedTensor& weights() const { return qweight_; }
+  [[nodiscard]] const Tensor& bias() const { return bias_; }
+  [[nodiscard]] int in_channels() const { return in_channels_; }
   [[nodiscard]] int out_channels() const { return out_channels_; }
+  [[nodiscard]] int kernel() const { return kernel_; }
+  [[nodiscard]] int stride() const { return stride_; }
+  [[nodiscard]] int pad() const { return pad_; }
+  [[nodiscard]] int act_bits() const { return act_bits_; }
   [[nodiscard]] int patch_size() const { return patch_; }
   [[nodiscard]] EngineKind engine_kind() const { return kind_; }
 
@@ -192,14 +209,29 @@ class QuantLinear final : public Layer {
               int act_bits = 8);
   QuantLinear(Linear& src, EngineKind kind, int weight_bits = 8,
               int act_bits = 8);
+  /// Deserialization counterpart of the QuantConv2d restore constructor:
+  /// `qweight` must be (out_features x in_features), `bias`
+  /// (out_features), `act_scale` finalized (> 0).
+  QuantLinear(std::string layer_name, int in_features, int out_features,
+              int act_bits, QuantizedTensor qweight, Tensor bias,
+              EngineKind kind, float act_scale);
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;  // throws
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] LayerKind kind() const override {
+    return LayerKind::kQuantLinear;
+  }
 
   void set_calibration_mode(bool on) { calibrating_ = on; }
   void finalize_calibration();
+  [[nodiscard]] bool is_calibrated() const { return act_scale_ > 0.0f; }
   [[nodiscard]] float act_scale() const { return act_scale_; }
+  [[nodiscard]] const QuantizedTensor& weights() const { return qweight_; }
+  [[nodiscard]] const Tensor& bias() const { return bias_; }
+  [[nodiscard]] int in_features() const { return in_features_; }
+  [[nodiscard]] int out_features() const { return out_features_; }
+  [[nodiscard]] int act_bits() const { return act_bits_; }
   [[nodiscard]] EngineKind engine_kind() const { return kind_; }
 
  private:
@@ -229,5 +261,15 @@ int quantize_network(Layer& root, const MvmEngine& engine, int weight_bits = 8,
 /// Run `images` through the network in calibration mode, then finalize
 /// all activation scales.
 void calibrate_quantized(Layer& root, const Tensor& images);
+
+/// Number of QuantConv2d / QuantLinear layers reachable from root
+/// (root included). Used by the deployment-plan loader as an integrity
+/// check against the count recorded in a serialized plan.
+int count_quantized_layers(Layer& root);
+
+/// True when every reachable quantized layer holds a finalized
+/// activation scale (act_scale > 0), i.e. the graph is servable without
+/// re-running calibration.
+bool quantized_layers_calibrated(Layer& root);
 
 }  // namespace yoloc

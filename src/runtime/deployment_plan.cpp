@@ -7,13 +7,37 @@
 
 namespace yoloc {
 
+namespace {
+
+/// Options pass through here on the way into the member initializer
+/// list, so both constructors validate before any engine is built.
+DeploymentOptions validated(DeploymentOptions options) {
+  options.validate();
+  return options;
+}
+
+}  // namespace
+
 DeploymentOptions::DeploymentOptions()
     : rom_macro(default_rom_macro()), sram_macro(default_sram_macro()) {}
+
+void DeploymentOptions::validate() const {
+  rom_macro.validate();
+  sram_macro.validate();
+  YOLOC_CHECK(rom_macro.kind == MacroKind::kRom,
+              "deployment options: rom_macro must be a ROM macro");
+  YOLOC_CHECK(sram_macro.kind == MacroKind::kSram,
+              "deployment options: sram_macro must be an SRAM macro");
+  YOLOC_CHECK(weight_bits >= 2 && weight_bits <= 8,
+              "deployment options: weight_bits out of [2, 8]");
+  YOLOC_CHECK(act_bits >= 1 && act_bits <= 8,
+              "deployment options: act_bits out of [1, 8]");
+}
 
 DeploymentPlan::DeploymentPlan(LayerPtr trained_model,
                                const Tensor& calibration_images,
                                DeploymentOptions options)
-    : options_(std::move(options)),
+    : options_(validated(std::move(options))),
       rom_macro_(options_.rom_macro),
       sram_macro_(options_.sram_macro),
       rom_engine_(rom_macro_, options_.mode),
@@ -26,6 +50,23 @@ DeploymentPlan::DeploymentPlan(LayerPtr trained_model,
   // Calibration is pure float math (dequantized-weight reference), so it
   // runs without any engine binding and accrues no macro activity.
   calibrate_quantized(*model_, calibration_images);
+}
+
+DeploymentPlan::DeploymentPlan(LoweredPlanImage image,
+                               DeploymentOptions options)
+    : options_(validated(std::move(options))),
+      rom_macro_(options_.rom_macro),
+      sram_macro_(options_.sram_macro),
+      rom_engine_(rom_macro_, options_.mode),
+      sram_engine_(sram_macro_, options_.mode),
+      model_(std::move(image.model)) {
+  YOLOC_CHECK(model_ != nullptr, "plan image: null model");
+  quantized_layers_ = count_quantized_layers(*model_);
+  YOLOC_CHECK(quantized_layers_ > 0, "plan image: no quantized layers");
+  YOLOC_CHECK(quantized_layers_ == image.quantized_layers,
+              "plan image: quantized layer count mismatch");
+  YOLOC_CHECK(quantized_layers_calibrated(*model_),
+              "plan image: uncalibrated quantized layer");
 }
 
 int DeploymentPlan::lower_network(Layer& node) {

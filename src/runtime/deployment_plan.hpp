@@ -32,6 +32,24 @@ struct DeploymentOptions {
   MacroMvmEngine::Mode mode = MacroMvmEngine::Mode::kAnalog;
 
   DeploymentOptions();
+
+  /// Field-wise equality (macros included) — the invariant behind plan
+  /// round-trips: equal options drive bit-identical lowering/execution.
+  bool operator==(const DeploymentOptions&) const = default;
+
+  /// Fail-fast sanity checks, run by every DeploymentPlan constructor and
+  /// by the plan loader (plan_serde) before any engine is built.
+  void validate() const;
+};
+
+/// A lowered, calibrated network image as rebuilt by the plan loader
+/// (src/runtime/plan_serde.*): the graph already went through BN folding,
+/// int8 quantization and calibration in some earlier process.
+struct LoweredPlanImage {
+  LayerPtr model;
+  /// Count recorded at save time; the constructor re-walks the graph and
+  /// rejects the image on mismatch.
+  int quantized_layers = 0;
 };
 
 class DeploymentPlan {
@@ -40,6 +58,13 @@ class DeploymentPlan {
   /// be set; `calibration_images` drive activation-range calibration.
   DeploymentPlan(LayerPtr trained_model, const Tensor& calibration_images,
                  DeploymentOptions options);
+
+  /// Rebuilds a servable plan from a deserialized image: engines are
+  /// reconstructed from `options`, but NO float model is consumed and NO
+  /// calibration runs — the image's quantized layers must already carry
+  /// finalized activation scales. This is the cold-start path behind
+  /// load_plan(): serving starts without any calibration images.
+  DeploymentPlan(LoweredPlanImage image, DeploymentOptions options);
 
   // Engines point at member macros; the plan is pinned in memory.
   DeploymentPlan(const DeploymentPlan&) = delete;

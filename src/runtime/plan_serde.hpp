@@ -1,0 +1,64 @@
+#pragma once
+// Versioned binary serialization of deployment artifacts (.yolocplan).
+//
+// The paper's deployment model bakes lowering into tape-out: BN folding,
+// int8 quantization, ROM/SRAM engine selection and calibration happen
+// ONCE, then the chip serves forever. This module gives the software
+// runtime the same lifecycle — save_plan() freezes a lowered
+// DeploymentPlan into a self-contained artifact; load_plan() rebuilds a
+// servable plan from it WITHOUT the float model and WITHOUT calibration
+// images, so a serving process cold-starts straight into execute().
+//
+// File layout (all integers little-endian, see common/binio.hpp):
+//
+//   magic   "YOLOCPLN"                      8 bytes
+//   version u32                             format revision (currently 1)
+//   nsec    u32                             section count
+//   table   nsec x { id u32, offset u64, size u64, crc32 u32 }
+//   payloads                                section bytes at their offsets
+//
+// Sections (ids are stable; unknown ids are rejected):
+//   1 OPTIONS  DeploymentOptions — bit widths, engine mode, both
+//              MacroConfigs field-by-field — plus the quantized-layer
+//              count used as a load-time integrity cross-check.
+//   2 GRAPH    the lowered layer tree, preorder: LayerKind tag + per-kind
+//              payload (quantized weights, scales, biases, calibrated
+//              activation ranges, container topology).
+//
+// Every section carries a CRC-32; load refuses bad magic, unknown
+// versions, out-of-bounds section tables, checksum mismatches and
+// trailing garbage — a corrupt artifact can never load into a silently
+// wrong plan. A loaded plan execute()s bit-identically to the plan that
+// saved it (same seeds, same inputs), pinned by tests/test_plan_serde.cpp.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/deployment_plan.hpp"
+
+namespace yoloc {
+
+/// Format revision written by serialize_plan / accepted by deserialize.
+inline constexpr std::uint32_t kPlanFormatVersion = 1;
+/// Canonical artifact extension.
+inline constexpr const char* kPlanFileExtension = ".yolocplan";
+
+/// In-memory encode/decode (the file functions wrap these; tests use
+/// them to exercise corruption paths without touching the filesystem).
+std::vector<std::uint8_t> serialize_plan(const DeploymentPlan& plan);
+std::unique_ptr<DeploymentPlan> deserialize_plan(const std::uint8_t* data,
+                                                 std::size_t size);
+
+/// Write `plan` as a .yolocplan artifact at `path` (parent directory
+/// must exist). Throws std::runtime_error on I/O failure.
+void save_plan(const DeploymentPlan& plan, const std::string& path);
+
+/// Rebuild a servable plan from a .yolocplan artifact. No float model,
+/// no calibration images — the returned plan is immediately servable by
+/// ExecutionContext / InferenceServer. Throws std::runtime_error on
+/// missing/truncated/corrupt/incompatible files.
+std::unique_ptr<DeploymentPlan> load_plan(const std::string& path);
+
+}  // namespace yoloc

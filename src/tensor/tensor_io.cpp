@@ -1,0 +1,76 @@
+#include "tensor/tensor_io.hpp"
+
+#include <limits>
+
+namespace yoloc {
+
+namespace {
+
+constexpr std::uint32_t kMaxRank = 8;
+
+/// Decode and validate a shape prefix; returns the element count.
+/// `bytes_per_elem` bounds the payload against the reader's remaining
+/// bytes so a corrupt extent cannot trigger a huge allocation.
+std::size_t read_shape(ByteReader& r, std::vector<int>& shape,
+                       std::size_t bytes_per_elem) {
+  const std::uint32_t rank = r.u32();
+  YOLOC_CHECK(rank <= kMaxRank, "tensor io: rank out of range");
+  shape.clear();
+  if (rank == 0) return 0;
+  std::size_t count = 1;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    const std::int32_t extent = r.i32();
+    YOLOC_CHECK(extent > 0, "tensor io: non-positive extent");
+    YOLOC_CHECK(count <= std::numeric_limits<std::size_t>::max() /
+                             static_cast<std::size_t>(extent),
+                "tensor io: element count overflow");
+    count *= static_cast<std::size_t>(extent);
+    shape.push_back(extent);
+  }
+  YOLOC_CHECK(count <= r.remaining() / bytes_per_elem,
+              "tensor io: payload larger than buffer");
+  return count;
+}
+
+void write_shape(ByteWriter& w, const std::vector<int>& shape) {
+  w.u32(static_cast<std::uint32_t>(shape.size()));
+  for (const int extent : shape) w.i32(extent);
+}
+
+}  // namespace
+
+void write_tensor(ByteWriter& w, const Tensor& t) {
+  write_shape(w, t.shape());
+  w.bytes(t.data(), t.size() * sizeof(float));
+}
+
+Tensor read_tensor(ByteReader& r) {
+  std::vector<int> shape;
+  const std::size_t count = read_shape(r, shape, sizeof(float));
+  if (shape.empty()) return Tensor{};
+  Tensor t(std::move(shape));
+  YOLOC_CHECK(t.size() == count, "tensor io: internal size mismatch");
+  r.bytes(t.data(), count * sizeof(float));
+  return t;
+}
+
+void write_quantized_tensor(ByteWriter& w, const QuantizedTensor& q) {
+  std::size_t count = q.shape.empty() ? 0 : 1;
+  for (const int extent : q.shape) count *= static_cast<std::size_t>(extent);
+  YOLOC_CHECK(q.data.size() == count,
+              "tensor io: quantized payload does not match shape");
+  write_shape(w, q.shape);
+  w.f32(q.scale);
+  w.bytes(q.data.data(), q.data.size());
+}
+
+QuantizedTensor read_quantized_tensor(ByteReader& r) {
+  QuantizedTensor q;
+  const std::size_t count = read_shape(r, q.shape, sizeof(std::int8_t));
+  q.scale = r.f32();
+  q.data.resize(count);
+  r.bytes(q.data.data(), count);
+  return q;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,25 @@
+#pragma once
+// Raw binary serialization of tensors — the payload primitives under the
+// deployment-plan artifact (src/runtime/plan_serde.*).
+//
+// Encoding (little-endian via common/binio.hpp):
+//   Tensor            : u32 rank | i32 extent[rank] | f32 data[prod]
+//   QuantizedTensor   : u32 rank | i32 extent[rank] | f32 scale | i8 data
+// Rank 0 encodes the empty (default-constructed) tensor. Readers validate
+// rank, extents and payload size against the remaining buffer before
+// allocating, so corrupt inputs fail with a YOLOC_CHECK error rather
+// than an allocation blow-up.
+
+#include "common/binio.hpp"
+#include "tensor/quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace yoloc {
+
+void write_tensor(ByteWriter& w, const Tensor& t);
+Tensor read_tensor(ByteReader& r);
+
+void write_quantized_tensor(ByteWriter& w, const QuantizedTensor& q);
+QuantizedTensor read_quantized_tensor(ByteReader& r);
+
+}  // namespace yoloc

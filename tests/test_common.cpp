@@ -7,7 +7,9 @@
 #include <cmath>
 #include <set>
 
+#include "common/binio.hpp"
 #include "common/check.hpp"
+#include "common/crc32.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -15,6 +17,77 @@
 
 namespace yoloc {
 namespace {
+
+TEST(Crc32, MatchesKnownVectors) {
+  // zlib-compatible check values.
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+  const char a[] = "a";
+  EXPECT_EQ(crc32(a, 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const char data[] = "YOLOCPLN section payload";
+  const std::size_t n = sizeof(data) - 1;
+  const std::uint32_t whole = crc32(data, n);
+  const std::uint32_t part = crc32(data + 5, n - 5, crc32(data, 5));
+  EXPECT_EQ(whole, part);
+  EXPECT_NE(crc32(data, n - 1), whole);
+}
+
+TEST(BinIo, RoundTripsEveryPrimitive) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.f32(-0.625f);
+  w.f64(3.141592653589793);
+  w.str("yoloc");
+  w.str("");
+
+  ByteReader r(w.buffer().data(), w.buffer().size());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.f32(), -0.625f);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_EQ(r.str(), "yoloc");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.remaining(), 0u);
+  r.expect_exhausted("binio test");
+}
+
+TEST(BinIo, EncodingIsLittleEndianAndStable) {
+  ByteWriter w;
+  w.u32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);
+  EXPECT_EQ(w.buffer()[1], 0x03);
+  EXPECT_EQ(w.buffer()[2], 0x02);
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(BinIo, ReaderRefusesToRunPastTheBuffer) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.buffer().data(), w.buffer().size());
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), std::runtime_error);
+
+  // A string length prefix larger than the remaining payload must throw
+  // instead of reading out of bounds.
+  ByteWriter bad;
+  bad.u32(1000);
+  ByteReader br(bad.buffer().data(), bad.buffer().size());
+  EXPECT_THROW((void)br.str(), std::runtime_error);
+
+  ByteReader partial(w.buffer().data(), 2);
+  EXPECT_THROW((void)partial.u32(), std::runtime_error);
+  EXPECT_THROW(partial.expect_exhausted("partial"), std::runtime_error);
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(42);
