@@ -1,90 +1,38 @@
 #include "runtime/inference_server.hpp"
 
-#include <algorithm>
 #include <cstring>
-#include <exception>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
-#include "common/parallel.hpp"
 #include "runtime/deployment_plan.hpp"
+#include "tensor/ops.hpp"
 
 namespace yoloc {
 
 namespace {
 
-/// Same channel/height/width — requests that can fuse into one batch.
-bool same_geometry(const Tensor& a, const Tensor& b) {
-  return a.shape()[1] == b.shape()[1] && a.shape()[2] == b.shape()[2] &&
-         a.shape()[3] == b.shape()[3];
-}
-
-/// Copy request inputs into one stacked batch along axis 0.
-Tensor stack_inputs(const std::vector<Tensor*>& inputs) {
-  int total_n = 0;
-  for (const Tensor* t : inputs) total_n += t->shape()[0];
-  std::vector<int> shape = inputs[0]->shape();
-  shape[0] = total_n;
-  Tensor stacked(shape);
-  float* dst = stacked.data();
-  for (const Tensor* t : inputs) {
-    std::memcpy(dst, t->data(), t->size() * sizeof(float));
-    dst += t->size();
-  }
-  return stacked;
-}
-
-/// Slice `rows` leading-axis entries starting at `row0` out of `batch`.
-Tensor slice_rows(const Tensor& batch, int row0, int rows) {
-  std::vector<int> shape = batch.shape();
-  const std::size_t row_size = batch.size() / shape[0];
-  shape[0] = rows;
-  Tensor out(shape);
-  std::memcpy(out.data(),
-              batch.data() + static_cast<std::size_t>(row0) * row_size,
-              static_cast<std::size_t>(rows) * row_size * sizeof(float));
-  return out;
+SchedulerOptions to_scheduler_options(const ServerOptions& options) {
+  SchedulerOptions so;
+  so.workers = options.workers;
+  so.max_microbatch = options.max_microbatch;
+  so.noise_seed = options.noise_seed;
+  return so;
 }
 
 }  // namespace
 
 InferenceServer::InferenceServer(const DeploymentPlan& plan,
                                  ServerOptions options)
-    : plan_(&plan), options_(options) {
-  if (options_.workers <= 0) {
-    options_.workers = static_cast<int>(parallel_workers());
-  }
-  YOLOC_CHECK(options_.max_microbatch >= 1,
-              "inference server: max_microbatch >= 1");
-  threads_.reserve(static_cast<std::size_t>(options_.workers));
-  for (int i = 0; i < options_.workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
-  }
-}
-
-InferenceServer::~InferenceServer() {
-  {
-    std::lock_guard lock(mutex_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (auto& t : threads_) t.join();
-}
+    : scheduler_(plan, to_scheduler_options(options)) {}
 
 std::future<Tensor> InferenceServer::submit(Tensor images) {
-  YOLOC_CHECK(images.rank() == 4 && images.shape()[0] >= 1,
-              "inference server: rank-4 NCHW request required");
-  Request req;
-  req.input = std::move(images);
-  std::future<Tensor> future = req.promise.get_future();
-  {
-    std::lock_guard lock(mutex_);
-    YOLOC_CHECK(!stop_, "inference server: submit after shutdown");
-    req.id = next_request_id_++;
-    queue_.push_back(std::move(req));
-  }
-  work_cv_.notify_one();
-  return future;
+  return scheduler_.submit(std::move(images), SubmitOptions{});
+}
+
+std::future<Tensor> InferenceServer::submit(Tensor images,
+                                            SubmitOptions options) {
+  return scheduler_.submit(std::move(images), options);
 }
 
 Tensor InferenceServer::infer(const Tensor& images) {
@@ -99,154 +47,46 @@ Tensor InferenceServer::infer(const Tensor& images) {
   std::vector<Tensor> outputs;
   outputs.reserve(futures.size());
   for (auto& f : futures) outputs.push_back(f.get());
-  std::vector<int> shape = outputs[0].shape();
-  shape[0] = n;
-  Tensor stacked(shape);
-  float* dst = stacked.data();
+  std::vector<const Tensor*> rows;
+  rows.reserve(outputs.size());
   for (const Tensor& t : outputs) {
     YOLOC_CHECK(t.shape()[0] == 1, "inference server: unexpected output row");
-    std::memcpy(dst, t.data(), t.size() * sizeof(float));
-    dst += t.size();
+    rows.push_back(&t);
   }
-  return stacked;
+  return concat_rows(rows);
 }
 
-void InferenceServer::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
-}
+void InferenceServer::wait_idle() { scheduler_.wait_idle(); }
 
 MacroRunStats InferenceServer::rom_stats() const {
-  std::lock_guard lock(mutex_);
-  return rom_total_;
+  return scheduler_.rom_stats();
 }
 
 MacroRunStats InferenceServer::sram_stats() const {
-  std::lock_guard lock(mutex_);
-  return sram_total_;
+  return scheduler_.sram_stats();
 }
 
 double InferenceServer::total_energy_pj() const {
-  std::lock_guard lock(mutex_);
-  return rom_total_.energy_pj() + sram_total_.energy_pj();
+  return scheduler_.total_energy_pj();
 }
 
-void InferenceServer::reset_stats() {
-  std::lock_guard lock(mutex_);
-  rom_total_ = MacroRunStats{};
-  sram_total_ = MacroRunStats{};
-}
+void InferenceServer::reset_stats() { scheduler_.reset_stats(); }
 
 ServerMetrics InferenceServer::metrics() const {
-  std::lock_guard lock(mutex_);
-  return metrics_;
+  const MetricsSnapshot snap = scheduler_.metrics_snapshot();
+  ServerMetrics m;
+  m.batches = snap.batches;
+  for (const ClassSnapshot& c : snap.classes) {
+    m.requests += c.served_requests;
+    m.images += c.served_images;
+    m.failed_requests +=
+        c.failed_requests + c.expired_requests + c.rejected_requests;
+  }
+  return m;
 }
 
-void InferenceServer::worker_loop() {
-  // Request-level parallelism: inner tensor kernels run inline rather
-  // than re-entering the shared parallel_for pool.
-  ParallelSerialGuard serial_guard;
-  ExecutionContext ctx(*plan_, options_.noise_seed);
-
-  for (;;) {
-    std::vector<Request> batch;
-    std::uint64_t batch_id = 0;
-    {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      while (static_cast<int>(batch.size()) < options_.max_microbatch &&
-             !queue_.empty() &&
-             same_geometry(queue_.front().input, batch.front().input)) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      batch_id = next_batch_id_++;
-      in_flight_ += static_cast<int>(batch.size());
-    }
-
-    // Derive this batch's noise stream from its first request so results
-    // do not depend on which worker picked the batch up.
-    ctx.reseed(options_.noise_seed + batch.front().id);
-    ctx.reset_stats();
-
-    Tensor output;
-    std::exception_ptr error;
-    int total_images = 0;
-    try {
-      if (batch.size() == 1) {
-        total_images = batch[0].input.shape()[0];
-        output = ctx.infer(batch[0].input);
-      } else {
-        std::vector<Tensor*> inputs;
-        inputs.reserve(batch.size());
-        for (Request& r : batch) inputs.push_back(&r.input);
-        Tensor stacked = stack_inputs(inputs);
-        total_images = stacked.shape()[0];
-        output = ctx.infer(stacked);
-      }
-    } catch (...) {
-      error = std::current_exception();
-    }
-
-    // Fulfill promises BEFORE the completion accounting below: wait_idle()
-    // promises that every accepted request has completed, so futures must
-    // be ready by the time in_flight_ reaches zero.
-    if (error) {
-      for (Request& r : batch) r.promise.set_exception(error);
-    } else {
-      int row = 0;
-      for (Request& r : batch) {
-        const int rows = r.input.shape()[0];
-        // Scatter failures (e.g. bad_alloc slicing a fused batch) fail
-        // the affected request instead of escaping the worker thread.
-        try {
-          if (batch.size() == 1) {
-            r.promise.set_value(std::move(output));
-          } else {
-            r.promise.set_value(slice_rows(output, row, rows));
-          }
-        } catch (...) {
-          r.promise.set_exception(std::current_exception());
-        }
-        row += rows;
-      }
-    }
-
-    {
-      std::lock_guard lock(mutex_);
-      // Merge per-batch stats in batch-formation order: given the same
-      // batch compositions (always true at max_microbatch = 1) the
-      // aggregate double sums are reproducible run to run. A failed
-      // batch merges zeros (its partial activity produced no output)
-      // but still holds its slot so the order is preserved.
-      pending_stats_[batch_id] =
-          error ? BatchStats{} : BatchStats{ctx.rom_stats(), ctx.sram_stats()};
-      for (auto it = pending_stats_.find(next_merge_id_);
-           it != pending_stats_.end();
-           it = pending_stats_.find(next_merge_id_)) {
-        rom_total_.accumulate(it->second.rom);
-        sram_total_.accumulate(it->second.sram);
-        pending_stats_.erase(it);
-        ++next_merge_id_;
-      }
-      if (error) {
-        metrics_.failed_requests += batch.size();
-      } else {
-        metrics_.requests += batch.size();
-        metrics_.images +=
-            static_cast<std::uint64_t>(std::max(total_images, 0));
-        metrics_.batches += 1;
-      }
-      in_flight_ -= static_cast<int>(batch.size());
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
-    }
-  }
+MetricsSnapshot InferenceServer::metrics_snapshot() const {
+  return scheduler_.metrics_snapshot();
 }
 
 }  // namespace yoloc

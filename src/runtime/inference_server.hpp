@@ -1,39 +1,24 @@
 #pragma once
-// Batched multi-threaded serving front-end over a shared DeploymentPlan.
+// Serving front-end over a shared DeploymentPlan — a thin facade over
+// the scheduling subsystem in src/serve/.
 //
-// Requests enter a FIFO queue; each worker thread owns one
-// ExecutionContext and repeatedly forms a micro-batch (up to
-// max_microbatch queued requests with matching image geometry), stacks
-// the inputs, runs ONE forward pass through the plan, and scatters the
-// outputs back to the per-request futures. Batching amortizes the
-// per-layer engine dispatch; worker parallelism exploits host cores the
-// way a mixed ROM+SRAM chip exploits concurrently active macros.
+// Historically this class owned its own FIFO queue and fixed
+// micro-batching worker pool; that logic now lives in serve::Scheduler
+// (continuous batching, priority classes, deadlines, telemetry). The
+// facade keeps the original submit()/infer() surface — existing callers
+// see identical behavior for plain traffic — while exposing the
+// scheduler for callers that want priorities, deadlines, or the full
+// metrics snapshot.
 //
-// Determinism: each micro-batch executes on a context reseeded with
-// noise_seed + id of its first request, and per-batch stats merge into
-// the server totals in batch-formation order. With max_microbatch = 1
-// that makes request i bit-identical to a serial ExecutionContext run
-// seeded noise_seed + i — including the merged stat sums — independent
-// of worker count or scheduling. With max_microbatch > 1 and multiple
-// workers, batch COMPOSITION depends on scheduling, so analog-mode
-// outputs and stat totals can vary run to run (exact-cost outputs stay
-// bit-exact; only the noise-stream alignment and double-summation order
-// move). Pin max_microbatch = 1 when reproducibility matters more than
-// throughput.
-//
-// Workers wrap themselves in ParallelSerialGuard: inner tensor kernels run
-// inline, because parallelism is already spent at the request level.
+// Determinism: with max_microbatch = 1 and single-class traffic,
+// request i is bit-identical to a serial ExecutionContext run seeded
+// noise_seed + i — outputs AND merged stat sums — independent of worker
+// count or scheduling (see the contract note in serve/scheduler.hpp).
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <map>
-#include <mutex>
-#include <thread>
-#include <vector>
 
-#include "runtime/execution_context.hpp"
+#include "serve/scheduler.hpp"
 
 namespace yoloc {
 
@@ -42,14 +27,17 @@ struct ServerOptions {
   int workers = 0;
   /// Max requests fused into one forward pass.
   int max_microbatch = 8;
-  /// Base noise seed; micro-batches derive their stream from it.
+  /// Base noise seed; batches derive their stream from it.
   std::uint64_t noise_seed = 2024;
 };
 
+/// Aggregate served-work counters, kept for existing callers; the full
+/// per-class latency/occupancy telemetry lives in metrics_snapshot().
 struct ServerMetrics {
-  // Successfully served work only; a batch whose forward throws counts
-  // solely under failed_requests so throughput / energy-per-image
-  // figures are not skewed by work that produced no output.
+  // Successfully served work only; failed_requests aggregates execution
+  // failures, deadline expiries and admission rejections so throughput /
+  // energy-per-image figures are not skewed by work that produced no
+  // output.
   std::uint64_t requests = 0;
   std::uint64_t images = 0;
   std::uint64_t batches = 0;
@@ -63,17 +51,22 @@ struct ServerMetrics {
 
 class InferenceServer {
  public:
+  /// For full scheduler control (priority lanes, deadlines, admission
+  /// caps) construct a serve::Scheduler directly instead.
   explicit InferenceServer(const DeploymentPlan& plan,
                            ServerOptions options = {});
-  /// Drains the queue, then joins the workers.
-  ~InferenceServer();
+  ~InferenceServer() = default;  // Scheduler drains the queue, then joins
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Enqueue one request (rank-4 NCHW, any leading batch extent >= 1).
-  /// The future yields the model output for exactly that input.
+  /// Enqueue one request (rank-4 NCHW, any leading batch extent >= 1)
+  /// into the default (batch) priority lane. The future yields the model
+  /// output for exactly that input.
   std::future<Tensor> submit(Tensor images);
+
+  /// Enqueue with explicit scheduling hints (priority class, deadline).
+  std::future<Tensor> submit(Tensor images, SubmitOptions options);
 
   /// Synchronous convenience: split `images` into per-image requests,
   /// serve them all, and re-stack the outputs in submission order.
@@ -85,48 +78,25 @@ class InferenceServer {
   /// stats/metrics when you need a consistent snapshot.
   void wait_idle();
 
-  /// Merged macro activity across completed micro-batches (deterministic
-  /// batch-order merge).
+  /// Merged macro activity across completed batches (deterministic
+  /// batch-formation-order merge).
   [[nodiscard]] MacroRunStats rom_stats() const;
   [[nodiscard]] MacroRunStats sram_stats() const;
   [[nodiscard]] double total_energy_pj() const;
   void reset_stats();
 
+  /// Legacy aggregate counters (derived from the metrics snapshot).
   [[nodiscard]] ServerMetrics metrics() const;
-  [[nodiscard]] int worker_count() const {
-    return static_cast<int>(threads_.size());
-  }
+  /// Full telemetry: per-class latency quantiles, queue depths, batch
+  /// occupancy, rolling throughput. JSON via MetricsSnapshot::to_json().
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+
+  [[nodiscard]] int worker_count() const { return scheduler_.worker_count(); }
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return scheduler_; }
 
  private:
-  struct Request {
-    Tensor input;
-    std::promise<Tensor> promise;
-    std::uint64_t id = 0;
-  };
-  struct BatchStats {
-    MacroRunStats rom;
-    MacroRunStats sram;
-  };
-
-  void worker_loop();
-
-  const DeploymentPlan* plan_;
-  ServerOptions options_;
-  std::vector<std::thread> threads_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<Request> queue_;
-  bool stop_ = false;
-  std::uint64_t next_request_id_ = 0;
-  std::uint64_t next_batch_id_ = 0;
-  std::uint64_t next_merge_id_ = 0;
-  int in_flight_ = 0;
-  std::map<std::uint64_t, BatchStats> pending_stats_;
-  MacroRunStats rom_total_;
-  MacroRunStats sram_total_;
-  ServerMetrics metrics_;
+  Scheduler scheduler_;
 };
 
 }  // namespace yoloc

@@ -1,0 +1,321 @@
+#include "serve/metrics_registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------- LatencyHistogram
+
+namespace {
+
+int bucket_of(std::uint64_t ns) {
+  // Bucket b holds [2^(b-1), 2^b); zero lands in bucket 0.
+  return ns == 0 ? 0 : std::bit_width(ns);
+}
+
+double bucket_lo(int b) {
+  return b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+}
+
+double bucket_hi(int b) {
+  return b >= 63 ? static_cast<double>(~0ull)
+                 : static_cast<double>(1ull << b);
+}
+
+constexpr double kNsPerMs = 1e6;
+
+LatencySummary summarize(const LatencyHistogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.p50_ms = h.quantile_ns(0.50) / kNsPerMs;
+  s.p95_ms = h.quantile_ns(0.95) / kNsPerMs;
+  s.p99_ms = h.quantile_ns(0.99) / kNsPerMs;
+  s.mean_ms = h.mean_ns() / kNsPerMs;
+  s.max_ms = static_cast<double>(h.max_ns()) / kNsPerMs;
+  return s;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  buckets_[static_cast<std::size_t>(
+      std::min(bucket_of(ns), kBuckets - 1))] += 1;
+  count_ += 1;
+  sum_ns_ += ns;
+  max_ns_ = std::max(max_ns_, ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        other.buckets_[static_cast<std::size_t>(b)];
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  max_ns_ = std::max(max_ns_, other.max_ns_);
+}
+
+double LatencyHistogram::mean_ns() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_ns_) /
+                           static_cast<double>(count_);
+}
+
+double LatencyHistogram::quantile_ns(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      // Linear interpolation across the bucket's nanosecond span.
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      const double v = bucket_lo(b) + frac * (bucket_hi(b) - bucket_lo(b));
+      return std::min(v, static_cast<double>(max_ns_));
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max_ns_);
+}
+
+// ---------------------------------------------------- MetricsSnapshot
+
+namespace {
+
+void append_latency_json(std::string& out, const char* key,
+                         const LatencySummary& s) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"count\":%llu,\"p50_ms\":%.4f,\"p95_ms\":%.4f,"
+                "\"p99_ms\":%.4f,\"mean_ms\":%.4f,\"max_ms\":%.4f}",
+                key, static_cast<unsigned long long>(s.count), s.p50_ms,
+                s.p95_ms, s.p99_ms, s.mean_ms, s.max_ms);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"uptime_s\":%.3f,\"workers\":%d,\"batches\":%llu,"
+      "\"served_requests\":%llu,\"served_images\":%llu,"
+      "\"batch_occupancy\":{\"mean\":%.3f,\"max\":%d},"
+      "\"rolling_images_per_s\":%.2f,\"classes\":{",
+      uptime_s, workers, static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(served_requests),
+      static_cast<unsigned long long>(served_images), avg_batch_occupancy,
+      max_batch_occupancy, rolling_images_per_s);
+  out += buf;
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    const ClassSnapshot& cs = classes[static_cast<std::size_t>(c)];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\"%s\":{\"submitted\":%llu,\"served_requests\":%llu,"
+        "\"served_images\":%llu,\"failed\":%llu,\"expired\":%llu,"
+        "\"rejected\":%llu,\"queue_depth\":%llu,",
+        c == 0 ? "" : ",", priority_name(static_cast<Priority>(c)),
+        static_cast<unsigned long long>(cs.submitted),
+        static_cast<unsigned long long>(cs.served_requests),
+        static_cast<unsigned long long>(cs.served_images),
+        static_cast<unsigned long long>(cs.failed_requests),
+        static_cast<unsigned long long>(cs.expired_requests),
+        static_cast<unsigned long long>(cs.rejected_requests),
+        static_cast<unsigned long long>(cs.queue_depth));
+    out += buf;
+    append_latency_json(out, "queue_wait_ms", cs.queue_wait);
+    out += ',';
+    append_latency_json(out, "e2e_ms", cs.e2e);
+    out += ',';
+    append_latency_json(out, "expired_wait_ms", cs.expired_wait);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+// ---------------------------------------------------- MetricsRegistry
+
+MetricsRegistry::MetricsRegistry(int workers) : start_(ServeClock::now()) {
+  YOLOC_CHECK(workers >= 1, "metrics registry: at least one worker slot");
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<WorkerSlot>());
+  }
+}
+
+void MetricsRegistry::record_batch(int worker, const BatchObservation& obs) {
+  YOLOC_CHECK(worker >= 0 && worker < worker_slots(),
+              "metrics registry: bad worker index");
+  WorkerSlot& slot = *workers_[static_cast<std::size_t>(worker)];
+  const auto cls = static_cast<std::size_t>(obs.priority);
+  {
+    std::lock_guard lock(slot.mutex);
+    ClassCounters& c = slot.classes[cls];
+    if (obs.failed) {
+      c.failed_requests += static_cast<std::uint64_t>(obs.requests);
+    } else {
+      c.served_requests += static_cast<std::uint64_t>(obs.requests);
+      c.served_images += static_cast<std::uint64_t>(obs.images);
+      for (const std::uint64_t ns : obs.queue_wait_ns) c.queue_wait.record(ns);
+      for (const std::uint64_t ns : obs.e2e_ns) c.e2e.record(ns);
+      slot.batches += 1;
+      slot.batched_requests += static_cast<std::uint64_t>(obs.requests);
+      slot.max_batch_occupancy =
+          std::max(slot.max_batch_occupancy, obs.requests);
+    }
+  }
+  if (!obs.failed && obs.images > 0) {
+    const std::int64_t second =
+        std::chrono::duration_cast<std::chrono::seconds>(ServeClock::now() -
+                                                         start_)
+            .count();
+    std::lock_guard lock(rate_mutex_);
+    auto& s = rate_.slots[static_cast<std::size_t>(second) %
+                          RollingRate::kSlots];
+    if (s.second != second) {
+      s.second = second;
+      s.images = 0;
+    }
+    s.images += static_cast<std::uint64_t>(obs.images);
+  }
+}
+
+void MetricsRegistry::record_submitted(Priority p) {
+  std::lock_guard lock(ingress_.mutex);
+  ingress_.submitted[static_cast<std::size_t>(p)] += 1;
+}
+
+void MetricsRegistry::record_rejected(Priority p) {
+  std::lock_guard lock(ingress_.mutex);
+  ingress_.rejected[static_cast<std::size_t>(p)] += 1;
+}
+
+void MetricsRegistry::record_expired(Priority p, std::uint64_t waited_ns) {
+  std::lock_guard lock(ingress_.mutex);
+  ingress_.expired[static_cast<std::size_t>(p)] += 1;
+  ingress_.expired_wait[static_cast<std::size_t>(p)].record(waited_ns);
+}
+
+void MetricsRegistry::reset() {
+  for (auto& worker : workers_) {
+    std::lock_guard lock(worker->mutex);
+    worker->classes = {};
+    worker->batches = 0;
+    worker->batched_requests = 0;
+    worker->max_batch_occupancy = 0;
+  }
+  {
+    std::lock_guard lock(ingress_.mutex);
+    ingress_.submitted = {};
+    ingress_.rejected = {};
+    ingress_.expired = {};
+    ingress_.expired_wait = {};
+  }
+  {
+    std::lock_guard lock(rate_mutex_);
+    rate_.slots = {};
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(
+    const std::array<std::uint64_t, kPriorityClassCount>& queue_depths)
+    const {
+  MetricsSnapshot snap;
+  const auto now = ServeClock::now();
+  snap.uptime_s = std::chrono::duration<double>(now - start_).count();
+  snap.workers = worker_slots();
+
+  std::array<LatencyHistogram, kPriorityClassCount> queue_wait{};
+  std::array<LatencyHistogram, kPriorityClassCount> e2e{};
+  std::uint64_t batched_requests = 0;
+  for (const auto& worker : workers_) {
+    std::lock_guard lock(worker->mutex);
+    for (int c = 0; c < kPriorityClassCount; ++c) {
+      const ClassCounters& src = worker->classes[static_cast<std::size_t>(c)];
+      ClassSnapshot& dst = snap.classes[static_cast<std::size_t>(c)];
+      dst.served_requests += src.served_requests;
+      dst.served_images += src.served_images;
+      dst.failed_requests += src.failed_requests;
+      queue_wait[static_cast<std::size_t>(c)].merge(src.queue_wait);
+      e2e[static_cast<std::size_t>(c)].merge(src.e2e);
+    }
+    snap.batches += worker->batches;
+    batched_requests += worker->batched_requests;
+    snap.max_batch_occupancy =
+        std::max(snap.max_batch_occupancy, worker->max_batch_occupancy);
+  }
+  {
+    std::lock_guard lock(ingress_.mutex);
+    for (int c = 0; c < kPriorityClassCount; ++c) {
+      ClassSnapshot& dst = snap.classes[static_cast<std::size_t>(c)];
+      dst.submitted = ingress_.submitted[static_cast<std::size_t>(c)];
+      dst.rejected_requests = ingress_.rejected[static_cast<std::size_t>(c)];
+      dst.expired_requests = ingress_.expired[static_cast<std::size_t>(c)];
+      dst.expired_wait =
+          summarize(ingress_.expired_wait[static_cast<std::size_t>(c)]);
+    }
+  }
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    ClassSnapshot& dst = snap.classes[static_cast<std::size_t>(c)];
+    dst.queue_depth = queue_depths[static_cast<std::size_t>(c)];
+    dst.queue_wait = summarize(queue_wait[static_cast<std::size_t>(c)]);
+    dst.e2e = summarize(e2e[static_cast<std::size_t>(c)]);
+    snap.served_requests += dst.served_requests;
+    snap.served_images += dst.served_images;
+  }
+  snap.avg_batch_occupancy =
+      snap.batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(snap.batches);
+
+  // Trailing-window throughput: sum the ring slots still inside the
+  // window, divide by the span those slots actually cover — the current
+  // second is only partially elapsed, so the divisor is (full seconds
+  // included - 1) plus that fraction, clamped to uptime for short-lived
+  // servers. Dividing by the nominal window would understate a steady
+  // rate by up to one second's worth.
+  {
+    const std::int64_t now_second =
+        std::chrono::duration_cast<std::chrono::seconds>(now - start_).count();
+    std::uint64_t images = 0;
+    std::lock_guard lock(rate_mutex_);
+    for (const auto& s : rate_.slots) {
+      if (s.second >= 0 && now_second - s.second < RollingRate::kWindowSeconds) {
+        images += s.images;
+      }
+    }
+    const double current_second_frac =
+        snap.uptime_s - static_cast<double>(now_second);
+    const double window = std::clamp(
+        snap.uptime_s, 1e-3,
+        static_cast<double>(RollingRate::kWindowSeconds - 1) +
+            current_second_frac);
+    snap.rolling_images_per_s = static_cast<double>(images) / window;
+  }
+  return snap;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,84 @@
+#pragma once
+// Request vocabulary of the serving scheduler (src/serve/).
+//
+// Every request entering the scheduler carries a priority class and an
+// optional deadline. The three classes model the traffic mix a deployed
+// CiM chip actually sees: latency-sensitive interactive queries, bulk
+// batch jobs, and best-effort background work that may be shed under
+// load. Deadlines are RELATIVE to submission; the scheduler converts
+// them to absolute steady-clock time points at admission so queued
+// requests can be expired without consulting the submitter again.
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace yoloc {
+
+/// Scheduling class, strongest first. Lower numeric value = served first.
+enum class Priority : int {
+  kInteractive = 0,  ///< latency-sensitive; always scheduled first
+  kBatch = 1,        ///< default bulk class
+  kBestEffort = 2,   ///< sheddable background work
+};
+
+inline constexpr int kPriorityClassCount = 3;
+
+/// Stable lowercase name ("interactive" / "batch" / "best_effort") used
+/// in metrics JSON and log lines.
+const char* priority_name(Priority p);
+
+/// Clock every scheduler timestamp lives on.
+using ServeClock = std::chrono::steady_clock;
+
+/// Per-submit scheduling hints.
+struct SubmitOptions {
+  Priority priority = Priority::kBatch;
+  /// Relative deadline from the moment of submission. Zero means no
+  /// deadline; a non-positive (already elapsed) deadline is rejected at
+  /// admission. Expired queued requests fail fast with
+  /// DeadlineExpiredError instead of occupying a worker.
+  std::chrono::nanoseconds deadline{0};
+};
+
+/// Request refused at admission (queue depth cap or infeasible deadline).
+class AdmissionError : public std::runtime_error {
+ public:
+  explicit AdmissionError(const std::string& what)
+      : std::runtime_error("admission: " + what) {}
+};
+
+/// Request canceled because its deadline passed before (or at) admission
+/// or while it was still queued.
+class DeadlineExpiredError : public std::runtime_error {
+ public:
+  explicit DeadlineExpiredError(const std::string& what)
+      : std::runtime_error("deadline expired: " + what) {}
+};
+
+/// Internal queue entry. Owned by RequestQueue / Scheduler; callers only
+/// ever see the future side of `promise`.
+struct ServeRequest {
+  Tensor input;
+  std::promise<Tensor> promise;
+  /// Admission-order id; also the per-request noise-stream offset that
+  /// backs the max_microbatch = 1 determinism contract.
+  std::uint64_t id = 0;
+  Priority priority = Priority::kBatch;
+  ServeClock::time_point submit_time{};
+  /// Absolute expiry; time_point::max() = no deadline.
+  ServeClock::time_point deadline = ServeClock::time_point::max();
+
+  [[nodiscard]] bool has_deadline() const {
+    return deadline != ServeClock::time_point::max();
+  }
+  [[nodiscard]] bool expired(ServeClock::time_point now) const {
+    return has_deadline() && deadline <= now;
+  }
+};
+
+}  // namespace yoloc

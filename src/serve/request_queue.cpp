@@ -1,0 +1,131 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+namespace {
+
+/// Requests fuse into one forward pass iff their C/H/W extents match
+/// (the leading batch extent may differ).
+bool same_geometry(const Tensor& a, const Tensor& b) {
+  return a.shape()[1] == b.shape()[1] && a.shape()[2] == b.shape()[2] &&
+         a.shape()[3] == b.shape()[3];
+}
+
+std::chrono::nanoseconds slack_of(const ServeRequest& r,
+                                  ServeClock::time_point now) {
+  return r.has_deadline() ? r.deadline - now
+                          : std::chrono::nanoseconds::max();
+}
+
+}  // namespace
+
+RequestQueue::Admission RequestQueue::admit(
+    Priority p, ServeClock::time_point now, ServeClock::time_point deadline,
+    int images, std::uint64_t max_depth, std::uint64_t est_image_ns) const {
+  if (max_depth != 0 && depth(p) >= max_depth) return Admission::kQueueFull;
+  if (deadline != ServeClock::time_point::max()) {
+    if (deadline <= now) return Admission::kAlreadyExpired;
+    if (est_image_ns != 0) {
+      // Even an empty queue cannot meet a deadline tighter than the
+      // request's own estimated execution time.
+      const auto needed = std::chrono::nanoseconds(
+          est_image_ns * static_cast<std::uint64_t>(std::max(images, 1)));
+      if (now + needed > deadline) return Admission::kInfeasible;
+    }
+  }
+  return Admission::kAccept;
+}
+
+void RequestQueue::push(ServeRequest req) {
+  const auto lane = static_cast<std::size_t>(req.priority);
+  YOLOC_CHECK(lane < lanes_.size(), "request queue: bad priority class");
+  deadline_count_ += req.has_deadline() ? 1 : 0;
+  lanes_[lane].push_back(std::move(req));
+}
+
+bool RequestQueue::empty() const {
+  for (const auto& lane : lanes_) {
+    if (!lane.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t RequestQueue::depth(Priority p) const {
+  return lanes_[static_cast<std::size_t>(p)].size();
+}
+
+std::array<std::uint64_t, kPriorityClassCount> RequestQueue::depths() const {
+  std::array<std::uint64_t, kPriorityClassCount> d{};
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    d[static_cast<std::size_t>(c)] = lanes_[static_cast<std::size_t>(c)].size();
+  }
+  return d;
+}
+
+std::vector<ServeRequest> RequestQueue::take_expired(
+    ServeClock::time_point now) {
+  std::vector<ServeRequest> expired;
+  if (deadline_count_ == 0) return expired;
+  for (auto& lane : lanes_) {
+    for (auto it = lane.begin(); it != lane.end();) {
+      if (it->expired(now)) {
+        --deadline_count_;
+        expired.push_back(std::move(*it));
+        it = lane.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return expired;
+}
+
+std::vector<ServeRequest> RequestQueue::pop_batch(
+    int max_batch, ServeClock::time_point now, std::uint64_t est_image_ns) {
+  YOLOC_CHECK(max_batch >= 1, "request queue: max_batch >= 1");
+  std::vector<ServeRequest> batch;
+  for (auto& lane : lanes_) {
+    if (lane.empty()) continue;
+
+    batch.push_back(std::move(lane.front()));
+    lane.pop_front();
+    deadline_count_ -= batch.front().has_deadline() ? 1 : 0;
+    std::uint64_t images =
+        static_cast<std::uint64_t>(batch.front().input.shape()[0]);
+    auto min_slack = slack_of(batch.front(), now);
+
+    for (auto it = lane.begin();
+         it != lane.end() && static_cast<int>(batch.size()) < max_batch;) {
+      if (!same_geometry(it->input, batch.front().input)) {
+        ++it;  // incompatible geometry: leave in place, keep scanning
+        continue;
+      }
+      const auto candidate_images =
+          images + static_cast<std::uint64_t>(it->input.shape()[0]);
+      const auto candidate_slack = std::min(min_slack, slack_of(*it, now));
+      if (est_image_ns != 0 &&
+          candidate_slack != std::chrono::nanoseconds::max() &&
+          std::chrono::nanoseconds(est_image_ns * candidate_images) >
+              candidate_slack) {
+        // Deadline-aware window: adding THIS candidate would blow the
+        // tightest deadline in the forming batch. Skip it and keep
+        // scanning — a later request with fewer images may still fit.
+        ++it;
+        continue;
+      }
+      deadline_count_ -= it->has_deadline() ? 1 : 0;
+      batch.push_back(std::move(*it));
+      it = lane.erase(it);
+      images = candidate_images;
+      min_slack = candidate_slack;
+    }
+    break;  // strict priority: never mix lanes in one batch
+  }
+  return batch;
+}
+
+}  // namespace yoloc

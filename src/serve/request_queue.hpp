@@ -1,0 +1,83 @@
+#pragma once
+// Priority request queue with admission control and deadline harvesting.
+//
+// Three FIFO lanes, one per Priority class. Scheduling policy:
+//   * strict priority across lanes — a batch always forms from the
+//     highest non-empty class (interactive starves best-effort, by
+//     design; admission caps bound the damage),
+//   * FIFO within a lane — at max_microbatch = 1 this is what keeps the
+//     scheduler's execution order equal to admission order for uniform
+//     traffic, preserving the bit-identical determinism contract,
+//   * greedy compatible batching — pop_batch() pulls further requests
+//     from the SAME lane with the SAME image geometry (C/H/W) into the
+//     forming batch, skipping over incompatible ones, up to the caller's
+//     cap and a deadline-aware growth window.
+//
+// NOT internally synchronized: queue state and scheduling decisions must
+// change atomically together, so the Scheduler guards the queue with its
+// own mutex. (Kept separate so the policy is unit-testable without
+// threads — see tests/test_serve.cpp.)
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace yoloc {
+
+class RequestQueue {
+ public:
+  /// Why admit() refused a request (kAccept means it did not).
+  enum class Admission {
+    kAccept,
+    kQueueFull,       ///< class lane at its depth cap
+    kAlreadyExpired,  ///< deadline not in the future at submit time
+    kInfeasible,      ///< deadline closer than the estimated service time
+  };
+
+  /// Admission decision for a request of class `p` with absolute
+  /// `deadline` carrying `images` images. `max_depth` caps the lane
+  /// (0 = unlimited); `est_image_ns` is the scheduler's rolling
+  /// per-image service estimate (0 = no data yet, feasibility not
+  /// checked). Pure — does not mutate the queue.
+  [[nodiscard]] Admission admit(Priority p, ServeClock::time_point now,
+                                ServeClock::time_point deadline, int images,
+                                std::uint64_t max_depth,
+                                std::uint64_t est_image_ns) const;
+
+  void push(ServeRequest req);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::uint64_t depth(Priority p) const;
+  [[nodiscard]] std::array<std::uint64_t, kPriorityClassCount> depths() const;
+
+  /// Remove and return every queued request whose deadline has passed.
+  /// The scheduler calls this at every scheduling point (batch
+  /// formation, each submission); a worker never sleeps on a non-empty
+  /// queue, so queued deadlines cannot sit unobserved while a worker is
+  /// idle. O(1) when nothing queued carries a deadline — the common
+  /// deadline-less-traffic case pays no scan under the scheduler lock.
+  std::vector<ServeRequest> take_expired(ServeClock::time_point now);
+
+  /// Form one batch: head of the highest non-empty lane, then greedy
+  /// same-lane same-geometry pulls. A candidate is skipped when adding
+  /// it would push the estimated batch execution time
+  /// (total_images * est_image_ns) past the tightest remaining slack of
+  /// any member — a deadline-aware window (est_image_ns = 0 disables
+  /// it; later, smaller candidates may still fit). Expired requests
+  /// must be harvested with take_expired() first; this method assumes
+  /// every queued request is still live. Returns an empty vector when
+  /// the queue is empty.
+  std::vector<ServeRequest> pop_batch(int max_batch,
+                                      ServeClock::time_point now,
+                                      std::uint64_t est_image_ns);
+
+ private:
+  std::array<std::deque<ServeRequest>, kPriorityClassCount> lanes_;
+  /// Queued requests carrying a deadline; gates the take_expired() scan.
+  std::size_t deadline_count_ = 0;
+};
+
+}  // namespace yoloc

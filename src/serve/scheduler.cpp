@@ -1,0 +1,329 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "runtime/deployment_plan.hpp"
+#include "tensor/ops.hpp"
+
+namespace yoloc {
+
+namespace {
+
+/// Copy request inputs into one stacked batch along axis 0.
+Tensor stack_inputs(const std::vector<ServeRequest>& batch) {
+  std::vector<const Tensor*> inputs;
+  inputs.reserve(batch.size());
+  for (const ServeRequest& r : batch) inputs.push_back(&r.input);
+  return concat_rows(inputs);
+}
+
+std::uint64_t ns_between(ServeClock::time_point from,
+                         ServeClock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const DeploymentPlan& plan, SchedulerOptions options)
+    : plan_(&plan),
+      options_(options),
+      metrics_(options.workers > 0 ? options.workers
+                                   : static_cast<int>(parallel_workers())) {
+  if (options_.workers <= 0) {
+    options_.workers = static_cast<int>(parallel_workers());
+  }
+  YOLOC_CHECK(options_.max_microbatch >= 1, "scheduler: max_microbatch >= 1");
+  threads_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+void Scheduler::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::future<Tensor> Scheduler::submit(Tensor images, SubmitOptions options) {
+  YOLOC_CHECK(images.rank() == 4 && images.shape()[0] >= 1,
+              "scheduler: rank-4 NCHW request required");
+  const int cls = static_cast<int>(options.priority);
+  YOLOC_CHECK(cls >= 0 && cls < kPriorityClassCount,
+              "scheduler: bad priority class");
+
+  ServeRequest req;
+  req.input = std::move(images);
+  req.priority = options.priority;
+  std::future<Tensor> future = req.promise.get_future();
+  const auto now = ServeClock::now();
+  req.submit_time = now;
+  const auto relative_deadline = options.deadline.count() != 0
+                                     ? options.deadline
+                                     : options_.default_deadline;
+  if (relative_deadline.count() != 0) req.deadline = now + relative_deadline;
+
+  std::exception_ptr rejection;
+  std::vector<ServeRequest> newly_expired;
+  {
+    std::lock_guard lock(mutex_);
+    YOLOC_CHECK(!stop_, "scheduler: submit after shutdown");
+    // Count the submission before the request becomes poppable (and not
+    // at all when the shutdown check above throws): snapshots must never
+    // show served > submitted for a class.
+    metrics_.record_submitted(options.priority);
+    // Harvest dead deadlines before the depth check: every submission is
+    // a scheduling point, so queued-expired requests fail fast even
+    // while all workers are busy — and they stop holding lane slots
+    // against the admission cap.
+    newly_expired = queue_.take_expired(now);
+    in_flight_ += static_cast<int>(newly_expired.size());
+    switch (queue_.admit(options.priority, now, req.deadline,
+                         req.input.shape()[0], options_.max_queue_depth,
+                         ewma_image_ns_.load(std::memory_order_relaxed))) {
+      case RequestQueue::Admission::kAccept:
+        // Ids are admission-ordered: the id doubles as the request's
+        // noise-stream offset, so rejections must not consume one.
+        req.id = next_request_id_++;
+        queue_.push(std::move(req));
+        break;
+      case RequestQueue::Admission::kQueueFull:
+        rejection = std::make_exception_ptr(AdmissionError(
+            std::string(priority_name(options.priority)) +
+            " lane at depth cap " +
+            std::to_string(options_.max_queue_depth)));
+        break;
+      case RequestQueue::Admission::kAlreadyExpired:
+        rejection = std::make_exception_ptr(
+            DeadlineExpiredError("deadline not in the future at submit"));
+        break;
+      case RequestQueue::Admission::kInfeasible:
+        rejection = std::make_exception_ptr(AdmissionError(
+            "deadline tighter than the estimated service time"));
+        break;
+    }
+  }
+  if (rejection) {
+    metrics_.record_rejected(options.priority);
+    req.promise.set_exception(rejection);
+  } else {
+    work_cv_.notify_one();
+  }
+  if (!newly_expired.empty()) cancel_expired(std::move(newly_expired));
+  return future;
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+MetricsSnapshot Scheduler::metrics_snapshot() const {
+  std::array<std::uint64_t, kPriorityClassCount> depths{};
+  {
+    std::lock_guard lock(mutex_);
+    depths = queue_.depths();
+  }
+  return metrics_.snapshot(depths);
+}
+
+MacroRunStats Scheduler::rom_stats() const {
+  std::lock_guard lock(mutex_);
+  return rom_total_;
+}
+
+MacroRunStats Scheduler::sram_stats() const {
+  std::lock_guard lock(mutex_);
+  return sram_total_;
+}
+
+double Scheduler::total_energy_pj() const {
+  std::lock_guard lock(mutex_);
+  return rom_total_.energy_pj() + sram_total_.energy_pj();
+}
+
+void Scheduler::reset_stats() {
+  std::lock_guard lock(mutex_);
+  rom_total_ = MacroRunStats{};
+  sram_total_ = MacroRunStats{};
+}
+
+void Scheduler::cancel_expired(std::vector<ServeRequest> expired) {
+  const auto now = ServeClock::now();
+  for (ServeRequest& r : expired) {
+    metrics_.record_expired(r.priority, ns_between(r.submit_time, now));
+    r.promise.set_exception(std::make_exception_ptr(DeadlineExpiredError(
+        "request " + std::to_string(r.id) + " (" +
+        priority_name(r.priority) + ") canceled while queued")));
+  }
+  std::lock_guard lock(mutex_);
+  in_flight_ -= static_cast<int>(expired.size());
+  if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+}
+
+void Scheduler::worker_loop(int worker_index) {
+  // Request-level parallelism: inner tensor kernels run inline rather
+  // than re-entering the shared parallel_for pool.
+  ParallelSerialGuard serial_guard;
+  ExecutionContext ctx(*plan_, options_.noise_seed);
+
+  for (;;) {
+    std::vector<ServeRequest> batch;
+    std::vector<ServeRequest> expired;
+    std::uint64_t batch_id = 0;
+    ServeClock::time_point pickup{};
+    {
+      std::unique_lock lock(mutex_);
+      for (;;) {
+        const auto now = ServeClock::now();
+        // Expiry first: a dead deadline must never occupy a worker or
+        // ride along in a batch.
+        expired = queue_.take_expired(now);
+        if (!expired.empty()) {
+          // Count canceled requests as in-flight until their futures
+          // resolve, so wait_idle() cannot return with promises pending.
+          in_flight_ += static_cast<int>(expired.size());
+          break;
+        }
+        if (!queue_.empty()) {
+          const std::uint64_t est =
+              options_.deadline_aware_batching
+                  ? ewma_image_ns_.load(std::memory_order_relaxed)
+                  : 0;
+          batch = queue_.pop_batch(options_.max_microbatch, now, est);
+          batch_id = next_batch_id_++;
+          in_flight_ += static_cast<int>(batch.size());
+          pickup = now;
+          break;
+        }
+        if (stop_) return;
+        // A worker only sleeps on an EMPTY queue (pop_batch always
+        // takes the head of the highest non-empty lane), so there is
+        // never a queued deadline to time out against here: expiry is
+        // harvested at the scheduling points — batch formation above
+        // and every submit().
+        work_cv_.wait(lock);
+      }
+    }
+
+    if (!expired.empty()) {
+      cancel_expired(std::move(expired));
+      continue;
+    }
+
+    // Derive this batch's noise stream from its first request so results
+    // do not depend on which worker picked the batch up.
+    ctx.reseed(options_.noise_seed + batch.front().id);
+    ctx.reset_stats();
+
+    Tensor output;
+    std::exception_ptr error;
+    int total_images = 0;
+    const auto exec_start = ServeClock::now();
+    try {
+      if (batch.size() == 1) {
+        total_images = batch[0].input.shape()[0];
+        output = ctx.infer(batch[0].input);
+      } else {
+        Tensor stacked = stack_inputs(batch);
+        total_images = stacked.shape()[0];
+        output = ctx.infer(stacked);
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const auto exec_end = ServeClock::now();
+
+    // Fulfill promises BEFORE the completion accounting below: wait_idle()
+    // promises that every accepted request has completed, so futures must
+    // be ready by the time in_flight_ reaches zero.
+    if (error) {
+      for (ServeRequest& r : batch) r.promise.set_exception(error);
+    } else {
+      int row = 0;
+      for (ServeRequest& r : batch) {
+        const int rows = r.input.shape()[0];
+        // Scatter failures (e.g. bad_alloc slicing a fused batch) fail
+        // the affected request instead of escaping the worker thread.
+        try {
+          if (batch.size() == 1) {
+            r.promise.set_value(std::move(output));
+          } else {
+            r.promise.set_value(slice_rows(output, row, rows));
+          }
+        } catch (...) {
+          r.promise.set_exception(std::current_exception());
+        }
+        row += rows;
+      }
+    }
+
+    // Telemetry: one observation per batch into this worker's slot.
+    BatchObservation obs;
+    obs.priority = batch.front().priority;
+    obs.requests = static_cast<int>(batch.size());
+    obs.images = std::max(total_images, 0);
+    obs.failed = error != nullptr;
+    if (!error) {
+      const auto done = ServeClock::now();
+      obs.queue_wait_ns.reserve(batch.size());
+      obs.e2e_ns.reserve(batch.size());
+      for (const ServeRequest& r : batch) {
+        obs.queue_wait_ns.push_back(ns_between(r.submit_time, pickup));
+        obs.e2e_ns.push_back(ns_between(r.submit_time, done));
+      }
+      if (total_images > 0) {
+        // Racy blend across workers is fine: the estimate only steers
+        // admission feasibility and the batching window.
+        const std::uint64_t sample =
+            ns_between(exec_start, exec_end) /
+            static_cast<std::uint64_t>(total_images);
+        const std::uint64_t old =
+            ewma_image_ns_.load(std::memory_order_relaxed);
+        ewma_image_ns_.store(old == 0 ? sample : (3 * old + sample) / 4,
+                             std::memory_order_relaxed);
+      }
+    }
+    metrics_.record_batch(worker_index, obs);
+
+    {
+      std::lock_guard lock(mutex_);
+      // Merge per-batch stats in batch-formation order: given the same
+      // batch compositions (always true at max_microbatch = 1 with
+      // uniform-class traffic) the aggregate double sums are
+      // reproducible run to run. A failed batch merges zeros (its
+      // partial activity produced no output) but still holds its slot
+      // so the order is preserved.
+      pending_stats_[batch_id] =
+          error ? BatchStats{} : BatchStats{ctx.rom_stats(), ctx.sram_stats()};
+      for (auto it = pending_stats_.find(next_merge_id_);
+           it != pending_stats_.end();
+           it = pending_stats_.find(next_merge_id_)) {
+        rom_total_.accumulate(it->second.rom);
+        sram_total_.accumulate(it->second.sram);
+        pending_stats_.erase(it);
+        ++next_merge_id_;
+      }
+      in_flight_ -= static_cast<int>(batch.size());
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace yoloc

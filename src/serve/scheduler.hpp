@@ -1,0 +1,153 @@
+#pragma once
+// Continuous-batching serving scheduler over a shared DeploymentPlan.
+//
+// The scheduling layer between callers and the plan (the software
+// counterpart of keeping a mixed ROM+SRAM CiM array pipeline full under
+// bursty load): requests enter a three-class priority queue
+// (interactive / batch / best-effort) with optional deadlines; idle
+// workers greedily pull compatible requests (same priority class, same
+// image geometry) into a forming batch and execute ONE forward pass —
+// continuous batching, no fixed batch boundaries, workers never idle
+// while compatible work is queued.
+//
+// Admission control refuses work that cannot be served: lanes have an
+// optional depth cap, and a deadline tighter than the rolling per-image
+// service estimate is refused up front. A queued request whose deadline
+// passes is canceled — its future fails with DeadlineExpiredError and
+// no worker ever executes it. Expiry is harvested at every scheduling
+// point (batch formation and each submission); since an idle worker
+// drains a non-empty queue immediately, a request can only sit past
+// its deadline while ALL workers are busy, so cancellation lands no
+// later than the end of the shortest in-flight batch (or the next
+// submission, whichever comes first).
+//
+// Determinism contract (inherited from the FIFO InferenceServer it
+// replaces): each batch executes on a context reseeded with
+// noise_seed + id of its FIRST request (ids are admission-ordered), and
+// per-batch stats merge in batch-formation order. With max_microbatch=1
+// and a single priority class, formation order equals admission order,
+// so request i is bit-identical — outputs AND merged stat sums — to a
+// serial ExecutionContext run seeded noise_seed + i, independent of
+// worker count. With mixed classes or max_microbatch > 1, batch
+// COMPOSITION (and with it the noise-stream alignment and double
+// summation order) depends on scheduling; exact-cost outputs stay
+// bit-exact per request regardless.
+//
+// Telemetry: every worker records into its own MetricsRegistry slot —
+// queue-wait and end-to-end latency histograms (p50/p95/p99), per-class
+// served/failed/expired/rejected counters, batch occupancy and rolling
+// throughput — merged on read into a JSON-exportable MetricsSnapshot.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/execution_context.hpp"
+#include "serve/metrics_registry.hpp"
+#include "serve/request_queue.hpp"
+
+namespace yoloc {
+
+struct SchedulerOptions {
+  /// Worker threads. 0 = parallel_workers() (which honours YOLOC_THREADS).
+  int workers = 0;
+  /// Max requests fused into one forward pass. 1 = deterministic mode.
+  int max_microbatch = 8;
+  /// Base noise seed; batches derive their stream from it.
+  std::uint64_t noise_seed = 2024;
+  /// Admission cap per priority lane. 0 = unlimited.
+  std::uint64_t max_queue_depth = 0;
+  /// Deadline applied to requests submitted without one. Zero = none.
+  std::chrono::nanoseconds default_deadline{0};
+  /// Cap batch growth by the tightest member deadline against the
+  /// rolling per-image service estimate.
+  bool deadline_aware_batching = true;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const DeploymentPlan& plan, SchedulerOptions options = {});
+  /// Graceful: drains the queue by priority, then joins the workers.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueue one request (rank-4 NCHW, any leading batch extent >= 1).
+  /// The returned future yields the model output for exactly that
+  /// input — or throws AdmissionError (refused at admission),
+  /// DeadlineExpiredError (canceled while queued), or the execution
+  /// error. Admission rejections resolve the future immediately and do
+  /// NOT consume a request id.
+  std::future<Tensor> submit(Tensor images, SubmitOptions options = {});
+
+  /// Block until every accepted request has resolved (served, failed,
+  /// or expired) — futures fulfilled AND metrics/stats accounting
+  /// settled.
+  void wait_idle();
+
+  /// Stop admission, serve everything still queued (highest priority
+  /// first; expired requests are canceled, not served), join workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Merged telemetry; see MetricsSnapshot::to_json() for the schema.
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+  /// Zero the telemetry counters/histograms (macro stats are separate —
+  /// see reset_stats()). Call after wait_idle() to scope a later
+  /// snapshot to a measurement phase, excluding warmup traffic.
+  void reset_metrics() { metrics_.reset(); }
+
+  /// Merged macro activity across completed batches (deterministic
+  /// batch-formation-order merge).
+  [[nodiscard]] MacroRunStats rom_stats() const;
+  [[nodiscard]] MacroRunStats sram_stats() const;
+  [[nodiscard]] double total_energy_pj() const;
+  void reset_stats();
+
+  [[nodiscard]] int worker_count() const {
+    return static_cast<int>(threads_.size());
+  }
+  [[nodiscard]] const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct BatchStats {
+    MacroRunStats rom;
+    MacroRunStats sram;
+  };
+
+  void worker_loop(int worker_index);
+  /// Fail `expired` fast (DeadlineExpiredError) and settle accounting.
+  /// Caller must have added them to in_flight_ under the queue lock.
+  void cancel_expired(std::vector<ServeRequest> expired);
+
+  const DeploymentPlan* plan_;
+  SchedulerOptions options_;
+  MetricsRegistry metrics_;
+  std::vector<std::thread> threads_;
+
+  /// Rolling per-image service-time estimate [ns] feeding admission
+  /// feasibility and the deadline-aware batching window. Monotonic
+  /// loads only; 0 until the first batch completes.
+  std::atomic<std::uint64_t> ewma_image_ns_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  RequestQueue queue_;
+  bool stop_ = false;
+  std::uint64_t next_request_id_ = 0;
+  std::uint64_t next_batch_id_ = 0;
+  std::uint64_t next_merge_id_ = 0;
+  int in_flight_ = 0;
+  std::map<std::uint64_t, BatchStats> pending_stats_;
+  MacroRunStats rom_total_;
+  MacroRunStats sram_total_;
+};
+
+}  // namespace yoloc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
@@ -125,6 +126,45 @@ void transpose2d_into(const Tensor& a, Tensor& out) {
           a.data()[static_cast<std::size_t>(i) * n + j];
     }
   }
+}
+
+Tensor slice_rows(const Tensor& batch, int row0, int rows) {
+  YOLOC_CHECK(batch.rank() >= 1 && row0 >= 0 && rows >= 1 &&
+                  row0 + rows <= batch.shape()[0],
+              "slice_rows: row range out of bounds");
+  std::vector<int> shape = batch.shape();
+  const std::size_t row_size = batch.size() / static_cast<std::size_t>(shape[0]);
+  shape[0] = rows;
+  Tensor out(shape);
+  std::memcpy(out.data(),
+              batch.data() + static_cast<std::size_t>(row0) * row_size,
+              static_cast<std::size_t>(rows) * row_size * sizeof(float));
+  return out;
+}
+
+Tensor concat_rows(const std::vector<const Tensor*>& parts) {
+  YOLOC_CHECK(!parts.empty(), "concat_rows: no inputs");
+  const std::vector<int>& ref = parts[0]->shape();
+  YOLOC_CHECK(parts[0]->rank() >= 1, "concat_rows: rank >= 1 required");
+  int total_rows = 0;
+  for (const Tensor* t : parts) {
+    YOLOC_CHECK(t->rank() == parts[0]->rank(),
+                "concat_rows: rank mismatch");
+    for (int d = 1; d < t->rank(); ++d) {
+      YOLOC_CHECK(t->shape()[d] == ref[static_cast<std::size_t>(d)],
+                  "concat_rows: trailing extent mismatch");
+    }
+    total_rows += t->shape()[0];
+  }
+  std::vector<int> shape = ref;
+  shape[0] = total_rows;
+  Tensor out(shape);
+  float* dst = out.data();
+  for (const Tensor* t : parts) {
+    std::memcpy(dst, t->data(), t->size() * sizeof(float));
+    dst += t->size();
+  }
+  return out;
 }
 
 Tensor transpose2d(const Tensor& a) {

@@ -31,6 +31,17 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
 /// Rank-2 transpose.
 Tensor transpose2d(const Tensor& a);
+
+/// Copy of `rows` leading-axis entries of `batch` starting at `row0`
+/// (any rank >= 1). The serving layer slices fused batch outputs back
+/// into per-request tensors with this.
+Tensor slice_rows(const Tensor& batch, int row0, int rows);
+
+/// Concatenate tensors along axis 0 (the inverse of slice_rows). All
+/// parts must share rank and trailing extents; leading extents may
+/// differ. The serving layer stacks per-request inputs into one fused
+/// forward pass with this.
+Tensor concat_rows(const std::vector<const Tensor*>& parts);
 /// Rank-2 transpose into caller-provided storage (reallocated only on
 /// shape mismatch).
 void transpose2d_into(const Tensor& a, Tensor& out);
