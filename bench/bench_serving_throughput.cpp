@@ -1,7 +1,10 @@
 // Serving throughput of the DeploymentPlan / ExecutionContext /
 // InferenceServer runtime: images/s for batch sizes {1, 8, 32} x worker
 // counts {1, 4, 8}, one JSON line per configuration (the perf-trajectory
-// feed for BENCH_*.json).
+// feed for BENCH_*.json) — plus `serving_scheduler` (fifo vs priority
+// mix), `serving_fairness` (strict vs deficit-weighted round-robin under
+// an interactive flood) and `serving_autobatch` (SLO-derived micro-batch
+// cap) rows; see docs/serving.md for how to read them.
 //
 //   build/bench_serving_throughput [--mode=analog|exact] [--seconds=S]
 //
@@ -171,6 +174,110 @@ MixResult run_mix(const DeploymentPlan& plan, int workers, double min_seconds,
   return r;
 }
 
+/// Fairness phase: a sustained closed-loop interactive flood (deep
+/// enough to keep every worker busy) plus a paced best-effort stream.
+/// Under strict priority the best-effort lane starves until the flood
+/// stops; under weighted-fair {8, 3, 1} it keeps its proportional share,
+/// so its p99 stays bounded DURING the flood at near-equal total
+/// throughput — the ISSUE-4 acceptance comparison. The snapshot is taken
+/// at flood end, before the drain, so starvation is visible.
+MixResult run_fairness(const DeploymentPlan& plan, int workers,
+                       double min_seconds, bool weighted_fair) {
+  SchedulerOptions options;
+  options.workers = workers;
+  options.max_microbatch = 8;
+  if (weighted_fair) options.lane_weights = {8.0, 3.0, 1.0};
+  Scheduler scheduler(plan, options);
+
+  Rng rng(321);
+  const Tensor flood_img =
+      Tensor::rand_uniform({1, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  const Tensor be_img =
+      Tensor::rand_uniform({1, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  (void)scheduler.submit(flood_img).get();  // warmup: layers, scratch, EWMA
+  scheduler.wait_idle();
+  scheduler.reset_metrics();
+
+  const auto start = Clock::now();
+  std::atomic<bool> stop{false};
+  std::thread best_effort([&] {
+    std::deque<std::future<Tensor>> window;
+    while (!stop.load(std::memory_order_relaxed)) {
+      window.push_back(scheduler.submit(
+          be_img, {Priority::kBestEffort, std::chrono::nanoseconds(0)}));
+      // Bounded in-flight: under strict priority these sit queued (that
+      // IS the starvation being measured), so don't block on .get().
+      if (window.size() > 8) {
+        window.pop_front();  // future destroyed; promise still fulfilled
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    window.clear();
+  });
+
+  std::deque<std::future<Tensor>> flood;
+  MixResult r;
+  for (;;) {
+    flood.push_back(scheduler.submit(
+        flood_img, {Priority::kInteractive, std::chrono::nanoseconds(0)}));
+    if (flood.size() > static_cast<std::size_t>(32 * workers)) {
+      (void)flood.front().get();
+      flood.pop_front();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed >= min_seconds) break;
+  }
+  // Snapshot while the flood is still live: best-effort starvation under
+  // strict priority only shows before the flood drains.
+  r.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  r.snapshot = scheduler.metrics_snapshot();
+  stop.store(true, std::memory_order_relaxed);
+  best_effort.join();
+  for (auto& f : flood) (void)f.get();
+  scheduler.wait_idle();
+  return r;
+}
+
+/// SLO-aware auto-batching phase: one deep closed-loop batch-lane stream;
+/// with a lane SLO the effective micro-batch shrinks to the latency
+/// budget instead of always fusing to the global cap.
+MixResult run_autobatch(const DeploymentPlan& plan, double min_seconds,
+                        std::chrono::nanoseconds slo) {
+  SchedulerOptions options;
+  options.workers = 1;
+  options.max_microbatch = 8;
+  options.lane_slo[static_cast<std::size_t>(Priority::kBatch)] = slo;
+  Scheduler scheduler(plan, options);
+
+  Rng rng(555);
+  const Tensor img =
+      Tensor::rand_uniform({1, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  (void)scheduler.submit(img).get();  // warmup populates the EWMA estimate
+  scheduler.wait_idle();
+  scheduler.reset_metrics();
+
+  const auto start = Clock::now();
+  std::deque<std::future<Tensor>> window;
+  for (;;) {
+    window.push_back(scheduler.submit(img));
+    if (window.size() > 48) {
+      (void)window.front().get();
+      window.pop_front();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed >= min_seconds) break;
+  }
+  for (auto& f : window) (void)f.get();
+  scheduler.wait_idle();
+
+  MixResult r;
+  r.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  r.snapshot = scheduler.metrics_snapshot();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,6 +368,56 @@ int main(int argc, char** argv) {
           r.snapshot.to_json().c_str());
       std::fflush(stdout);
     }
+  }
+
+  // Fairness trajectory: strict priority vs deficit-weighted round-robin
+  // under a sustained interactive flood. The acceptance criterion reads
+  // off these rows: weighted_fair keeps be_p99_e2e_ms bounded (strict
+  // starves the lane: be_served ~ 0 and the p99 is the flood length)
+  // while images_per_s stays within ~5% of the strict row.
+  for (const int workers : {1, 4}) {
+    for (const bool weighted_fair : {false, true}) {
+      const MixResult r =
+          run_fairness(*plan, workers, min_seconds, weighted_fair);
+      const auto& be = r.snapshot.classes[static_cast<std::size_t>(
+          Priority::kBestEffort)];
+      const auto& inter = r.snapshot.classes[static_cast<std::size_t>(
+          Priority::kInteractive)];
+      std::printf(
+          "{\"bench\":\"serving_fairness\",\"mode\":\"%s\","
+          "\"policy\":\"%s\",\"workers\":%d,\"seconds\":%.4f,"
+          "\"images_per_s\":%.2f,\"be_served\":%llu,\"be_queued\":%llu,"
+          "\"be_p99_e2e_ms\":%.4f,\"interactive_p99_queue_ms\":%.4f}\n",
+          mode_name, weighted_fair ? "weighted_fair" : "strict", workers,
+          r.seconds,
+          static_cast<double>(r.snapshot.served_images) / r.seconds,
+          static_cast<unsigned long long>(be.served_requests),
+          static_cast<unsigned long long>(be.queue_depth), be.e2e.p99_ms,
+          inter.queue_wait.p99_ms);
+      std::fflush(stdout);
+    }
+  }
+
+  // SLO-aware auto-batching trajectory: the same deep batch-lane stream
+  // with no SLO (fuses to the global micro-batch cap) vs a tight lane
+  // SLO (the effective cap shrinks to the latency budget). Expect
+  // avg_microbatch and p99 e2e to drop together on the SLO row.
+  for (const double slo_ms : {0.0, 2.0}) {
+    const MixResult r = run_autobatch(
+        *plan, min_seconds,
+        std::chrono::nanoseconds(static_cast<std::int64_t>(slo_ms * 1e6)));
+    const auto& batch_class =
+        r.snapshot.classes[static_cast<std::size_t>(Priority::kBatch)];
+    std::printf(
+        "{\"bench\":\"serving_autobatch\",\"mode\":\"%s\","
+        "\"slo_ms\":%.1f,\"seconds\":%.4f,\"images_per_s\":%.2f,"
+        "\"avg_microbatch\":%.2f,\"max_microbatch\":%d,"
+        "\"batch_p99_e2e_ms\":%.4f}\n",
+        mode_name, slo_ms, r.seconds,
+        static_cast<double>(r.snapshot.served_images) / r.seconds,
+        r.snapshot.avg_batch_occupancy, r.snapshot.max_batch_occupancy,
+        batch_class.e2e.p99_ms);
+    std::fflush(stdout);
   }
   return 0;
 }

@@ -1,16 +1,21 @@
 // Mixed-priority serving demo on the scheduler subsystem (src/serve/).
 //
-//   build/serve_traffic_mix [--plan PATH] [--seconds=S]
+//   build/serve_traffic_mix [--plan PATH] [--seconds=S] [--strict]
+//                           [--prometheus]
 //
 // Loads a .yolocplan artifact (or lowers a VGG-8-lite in-process when no
 // --plan is given), then replays a mixed workload against one Scheduler:
-//   * interactive  — single-image requests with a 100 ms deadline,
+//   * interactive  — single-image requests with a 100 ms deadline, a
+//                    20 ms SLO budget (auto-batching cap) and one
+//                    reserved worker when enough workers exist,
 //   * batch        — 4-image requests, no deadline,
 //   * best-effort  — single-image requests with a deliberately tight
 //                    deadline so some are shed (admission/expiry).
-// Finishes by printing the MetricsRegistry JSON snapshot plus a short
-// human-readable digest: per-class p50/p95/p99 queue wait, batch
-// occupancy, rolling throughput, and how much best-effort work was shed.
+// Lanes run under weighted-fair scheduling ({8, 3, 1}; pass --strict for
+// the legacy strict-priority policy). Finishes by printing the
+// MetricsRegistry JSON snapshot plus a short human-readable digest —
+// or, with --prometheus, the Prometheus text exposition a /metrics
+// endpoint would serve (see docs/serving.md for every metric).
 
 #include <chrono>
 #include <cstdio>
@@ -20,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "nn/zoo.hpp"
 #include "runtime/plan_serde.hpp"
 #include "serve/scheduler.hpp"
@@ -84,14 +90,21 @@ void print_class_digest(const ClassSnapshot& c, const char* name) {
 int main(int argc, char** argv) {
   std::string plan_path;
   double seconds = 2.0;
+  bool strict = false;
+  bool prometheus = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
       plan_path = argv[++i];
     } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
       seconds = std::atof(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--prometheus") == 0) {
+      prometheus = true;
     } else {
       std::fprintf(stderr,
-                   "usage: serve_traffic_mix [--plan PATH] [--seconds=S]\n");
+                   "usage: serve_traffic_mix [--plan PATH] [--seconds=S] "
+                   "[--strict] [--prometheus]\n");
       return 2;
     }
   }
@@ -110,10 +123,30 @@ int main(int argc, char** argv) {
   SchedulerOptions options;
   options.max_microbatch = 8;
   options.max_queue_depth = 256;
+  if (!strict) {
+    // Weighted-fair: interactive gets the lion's share but best-effort
+    // keeps a bounded slice instead of starving; the interactive lane
+    // also gets a 20 ms SLO budget (auto-batching) and — when the pool
+    // is big enough — one dedicated worker of headroom.
+    options.lane_weights = {8.0, 3.0, 1.0};
+    options.lane_slo[static_cast<std::size_t>(Priority::kInteractive)] =
+        milliseconds(20);
+  }
+  if (!strict && parallel_workers() >= 4) {
+    // Reservations must leave shared workers for the other lanes.
+    options.lane_reservations[static_cast<std::size_t>(
+        Priority::kInteractive)] = 1;
+  }
   Scheduler scheduler(*plan, options);
-  std::printf("scheduler: %d workers, microbatch <= %d, lane depth cap %llu\n",
-              scheduler.worker_count(), options.max_microbatch,
-              static_cast<unsigned long long>(options.max_queue_depth));
+  std::printf(
+      "scheduler: %d workers (%d reserved interactive), microbatch <= %d, "
+      "lane depth cap %llu, policy %s\n",
+      scheduler.worker_count(),
+      options.lane_reservations[static_cast<std::size_t>(
+          Priority::kInteractive)],
+      options.max_microbatch,
+      static_cast<unsigned long long>(options.max_queue_depth),
+      strict ? "strict-priority" : "weighted-fair {8,3,1}");
 
   const Tensor interactive_img = make_images(1, 11);
   const Tensor batch_img = make_images(4, 22);
@@ -143,6 +176,12 @@ int main(int argc, char** argv) {
   }
   drain(in_flight, &shed);
   scheduler.wait_idle();
+
+  if (prometheus) {
+    // What a /metrics endpoint would serve for this run.
+    std::fputs(scheduler.to_prometheus().c_str(), stdout);
+    return 0;
+  }
 
   const MetricsSnapshot snap = scheduler.metrics_snapshot();
   std::printf("\nmetrics snapshot (JSON):\n%s\n\n", snap.to_json().c_str());

@@ -90,6 +90,11 @@ class InferenceServer {
   /// Full telemetry: per-class latency quantiles, queue depths, batch
   /// occupancy, rolling throughput. JSON via MetricsSnapshot::to_json().
   [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+  /// Prometheus text exposition of the same snapshot (see
+  /// docs/serving.md for every metric name, type and meaning).
+  [[nodiscard]] std::string to_prometheus() const {
+    return scheduler_.to_prometheus();
+  }
 
   [[nodiscard]] int worker_count() const { return scheduler_.worker_count(); }
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }

@@ -114,6 +114,211 @@ void append_latency_json(std::string& out, const char* key,
 
 }  // namespace
 
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Emitted `le` thresholds: every even log2 exponent from 2^10 ns
+/// (~1 us) to 2^40 ns (~18 min). Cumulative counts stay exact at any
+/// subset of thresholds; observations outside the span land in the
+/// first bucket / the +Inf bucket.
+constexpr int kPromLeLo = 10;
+constexpr int kPromLeHi = 40;
+constexpr int kPromLeStep = 2;
+constexpr double kNsPerSecond = 1e9;
+
+void append_prom_header(std::string& out, const char* name, const char* type,
+                        const char* help) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// Integer series (counters, depth gauges) are emitted as integers:
+/// rendering them through %g would silently round past 10 significant
+/// digits and freeze rate() on long-lived servers.
+void append_prom_lane_counter(std::string& out, const char* name,
+                              const char* lane, std::uint64_t value) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s{lane=\"%s\"} %llu\n", name,
+                prometheus_escape_label(lane).c_str(),
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+void append_prom_counter(std::string& out, const char* name,
+                         std::uint64_t value) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %llu\n", name,
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+void append_prom_value(std::string& out, const char* name, double value) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %.10g\n", name, value);
+  out += buf;
+}
+
+/// One lane's cumulative `_bucket` series plus its `_sum` and `_count`.
+void append_prom_histogram_lane(std::string& out, const char* name,
+                                const char* lane,
+                                const LatencyHistogram& hist) {
+  const std::string esc = prometheus_escape_label(lane);
+  char buf[192];
+  std::uint64_t cumulative = 0;
+  int next_bucket = 0;
+  for (int b = kPromLeLo; b <= kPromLeHi; b += kPromLeStep) {
+    for (; next_bucket <= b && next_bucket < LatencyHistogram::kBuckets;
+         ++next_bucket) {
+      cumulative += hist.bucket(next_bucket);
+    }
+    std::snprintf(buf, sizeof(buf), "%s_bucket{lane=\"%s\",le=\"%.10g\"} %llu\n",
+                  name, esc.c_str(),
+                  LatencyHistogram::bucket_upper_ns(b) / kNsPerSecond,
+                  static_cast<unsigned long long>(cumulative));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%s_bucket{lane=\"%s\",le=\"+Inf\"} %llu\n",
+                name, esc.c_str(),
+                static_cast<unsigned long long>(hist.count()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_sum{lane=\"%s\"} %.10g\n", name,
+                esc.c_str(),
+                static_cast<double>(hist.sum_ns()) / kNsPerSecond);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_count{lane=\"%s\"} %llu\n", name,
+                esc.c_str(), static_cast<unsigned long long>(hist.count()));
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  out.reserve(16384);
+
+  append_prom_header(out, "yoloc_serve_uptime_seconds", "gauge",
+                     "Seconds since the metrics registry was created.");
+  append_prom_value(out, "yoloc_serve_uptime_seconds", uptime_s);
+
+  append_prom_header(out, "yoloc_serve_workers", "gauge",
+                     "Scheduler worker threads.");
+  append_prom_value(out, "yoloc_serve_workers", workers);
+
+  append_prom_header(out, "yoloc_serve_batches_total", "counter",
+                     "Forward passes executed (continuous batches).");
+  append_prom_counter(out, "yoloc_serve_batches_total", batches);
+
+  append_prom_header(out, "yoloc_serve_batch_occupancy_mean", "gauge",
+                     "Mean requests fused per executed batch.");
+  append_prom_value(out, "yoloc_serve_batch_occupancy_mean",
+                    avg_batch_occupancy);
+
+  append_prom_header(out, "yoloc_serve_batch_occupancy_max", "gauge",
+                     "Largest request count fused into one batch.");
+  append_prom_value(out, "yoloc_serve_batch_occupancy_max",
+                    max_batch_occupancy);
+
+  append_prom_header(out, "yoloc_serve_rolling_images_per_second", "gauge",
+                     "Images served per second over the trailing window.");
+  append_prom_value(out, "yoloc_serve_rolling_images_per_second",
+                    rolling_images_per_s);
+
+  struct LaneCounter {
+    const char* name;
+    const char* help;
+    std::uint64_t ClassSnapshot::* field;
+  };
+  static constexpr LaneCounter kCounters[] = {
+      {"yoloc_serve_requests_submitted_total",
+       "Requests submitted per lane (accepted or not).",
+       &ClassSnapshot::submitted},
+      {"yoloc_serve_requests_served_total",
+       "Requests served to completion per lane.",
+       &ClassSnapshot::served_requests},
+      {"yoloc_serve_images_served_total", "Images served per lane.",
+       &ClassSnapshot::served_images},
+      {"yoloc_serve_requests_failed_total",
+       "Requests whose execution raised per lane.",
+       &ClassSnapshot::failed_requests},
+      {"yoloc_serve_requests_expired_total",
+       "Requests canceled while queued (deadline passed) per lane.",
+       &ClassSnapshot::expired_requests},
+      {"yoloc_serve_requests_rejected_total",
+       "Requests refused at admission per lane.",
+       &ClassSnapshot::rejected_requests},
+  };
+  for (const LaneCounter& counter : kCounters) {
+    append_prom_header(out, counter.name, "counter", counter.help);
+    for (int c = 0; c < kPriorityClassCount; ++c) {
+      append_prom_lane_counter(
+          out, counter.name, priority_name(static_cast<Priority>(c)),
+          classes[static_cast<std::size_t>(c)].*counter.field);
+    }
+  }
+
+  append_prom_header(out, "yoloc_serve_queue_depth", "gauge",
+                     "Requests queued per lane at scrape time.");
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    append_prom_lane_counter(
+        out, "yoloc_serve_queue_depth",
+        priority_name(static_cast<Priority>(c)),
+        classes[static_cast<std::size_t>(c)].queue_depth);
+  }
+
+  struct LaneHistogram {
+    const char* name;
+    const char* help;
+    LatencyHistogram ClassSnapshot::* field;
+  };
+  static constexpr LaneHistogram kHistograms[] = {
+      {"yoloc_serve_queue_wait_seconds",
+       "Submit to batch pickup, served requests only.",
+       &ClassSnapshot::queue_wait_hist},
+      {"yoloc_serve_e2e_latency_seconds",
+       "Submit to future fulfilled, served requests only.",
+       &ClassSnapshot::e2e_hist},
+      {"yoloc_serve_expired_wait_seconds",
+       "Submit to cancellation for requests that expired while queued.",
+       &ClassSnapshot::expired_wait_hist},
+  };
+  for (const LaneHistogram& hist : kHistograms) {
+    append_prom_header(out, hist.name, "histogram", hist.help);
+    for (int c = 0; c < kPriorityClassCount; ++c) {
+      append_prom_histogram_lane(
+          out, hist.name, priority_name(static_cast<Priority>(c)),
+          classes[static_cast<std::size_t>(c)].*hist.field);
+    }
+  }
+  return out;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::string out;
   out.reserve(1024);
@@ -276,6 +481,8 @@ MetricsSnapshot MetricsRegistry::snapshot(
       dst.expired_requests = ingress_.expired[static_cast<std::size_t>(c)];
       dst.expired_wait =
           summarize(ingress_.expired_wait[static_cast<std::size_t>(c)]);
+      dst.expired_wait_hist =
+          ingress_.expired_wait[static_cast<std::size_t>(c)];
     }
   }
   for (int c = 0; c < kPriorityClassCount; ++c) {
@@ -283,6 +490,8 @@ MetricsSnapshot MetricsRegistry::snapshot(
     dst.queue_depth = queue_depths[static_cast<std::size_t>(c)];
     dst.queue_wait = summarize(queue_wait[static_cast<std::size_t>(c)]);
     dst.e2e = summarize(e2e[static_cast<std::size_t>(c)]);
+    dst.queue_wait_hist = queue_wait[static_cast<std::size_t>(c)];
+    dst.e2e_hist = e2e[static_cast<std::size_t>(c)];
     snap.served_requests += dst.served_requests;
     snap.served_images += dst.served_images;
   }

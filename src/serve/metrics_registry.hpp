@@ -14,6 +14,7 @@
 // quantiles with bounded relative error — the standard shape for serving
 // p50/p95/p99 without keeping raw samples.
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -35,6 +36,17 @@ class LatencyHistogram {
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] std::uint64_t max_ns() const { return max_ns_; }
+  [[nodiscard]] std::uint64_t sum_ns() const { return sum_ns_; }
+  /// Raw occupancy of bucket `b` in [0, kBuckets); bucket b holds
+  /// latencies in [2^(b-1), 2^b) ns (zero lands in bucket 0).
+  [[nodiscard]] std::uint64_t bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+  /// Inclusive upper bound of bucket `b` in nanoseconds (2^b): every
+  /// observation in buckets [0, b] is <= this. Feeds Prometheus `le`.
+  [[nodiscard]] static double bucket_upper_ns(int b) {
+    return static_cast<double>(1ull << std::min(b, 62));
+  }
   [[nodiscard]] double mean_ns() const;
   /// q in [0, 1]; linear interpolation inside the containing bucket,
   /// clamped to the observed maximum. Returns 0 when empty.
@@ -46,6 +58,10 @@ class LatencyHistogram {
   std::uint64_t sum_ns_ = 0;
   std::uint64_t max_ns_ = 0;
 };
+
+/// Escape a Prometheus label value per the text exposition format
+/// (version 0.0.4): backslash, double quote and newline are escaped.
+[[nodiscard]] std::string prometheus_escape_label(const std::string& value);
 
 /// Quantile digest of one histogram, in milliseconds (JSON-friendly).
 struct LatencySummary {
@@ -69,6 +85,11 @@ struct ClassSnapshot {
   LatencySummary queue_wait;    // submit -> batch pickup (served only)
   LatencySummary e2e;           // submit -> future fulfilled (served only)
   LatencySummary expired_wait;  // submit -> cancellation (expired only)
+  // The merged histograms behind the three summaries above; carried so
+  // the Prometheus exposition can emit real cumulative buckets.
+  LatencyHistogram queue_wait_hist;
+  LatencyHistogram e2e_hist;
+  LatencyHistogram expired_wait_hist;
 };
 
 /// Immutable merged view of the registry at one instant.
@@ -84,8 +105,15 @@ struct MetricsSnapshot {
   std::array<ClassSnapshot, kPriorityClassCount> classes{};
 
   /// One JSON object (single line, no trailing newline) with the schema
-  /// documented in README "Serving scheduler".
+  /// documented in docs/serving.md.
   [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4): `# HELP` / `# TYPE`
+  /// per family, counters (`*_total`), gauges, and cumulative
+  /// `_bucket`/`_sum`/`_count` histogram series per lane. Every metric
+  /// name is documented in docs/serving.md; tools/docs_check.sh keeps
+  /// the two in sync (CTest label `docs`).
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// What one worker observed executing one batch. All requests in a batch
@@ -121,6 +149,13 @@ class MetricsRegistry {
   [[nodiscard]] MetricsSnapshot snapshot(
       const std::array<std::uint64_t, kPriorityClassCount>& queue_depths)
       const;
+
+  /// Convenience: snapshot() rendered as the Prometheus text format.
+  [[nodiscard]] std::string to_prometheus(
+      const std::array<std::uint64_t, kPriorityClassCount>& queue_depths)
+      const {
+    return snapshot(queue_depths).to_prometheus();
+  }
 
   /// Zero every counter, histogram and throughput slot (each under its
   /// own lock; safe concurrently with recording, though a snapshot

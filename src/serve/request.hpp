@@ -9,9 +9,11 @@
 // them to absolute steady-clock time points at admission so queued
 // requests can be expired without consulting the submitter again.
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -19,7 +21,9 @@
 
 namespace yoloc {
 
-/// Scheduling class, strongest first. Lower numeric value = served first.
+/// Scheduling class, strongest first. Lower numeric value = served first
+/// under strict priority; under weighted-fair scheduling the class only
+/// selects the lane (and its weight / reservation / SLO configuration).
 enum class Priority : int {
   kInteractive = 0,  ///< latency-sensitive; always scheduled first
   kBatch = 1,        ///< default bulk class
@@ -27,6 +31,35 @@ enum class Priority : int {
 };
 
 inline constexpr int kPriorityClassCount = 3;
+
+/// Bitmask over priority lanes: bit i = lane i is eligible. Workers with
+/// a per-lane reservation pop with a single-lane mask; shared workers pop
+/// with kAllLanes.
+using LaneMask = unsigned;
+
+inline constexpr LaneMask kAllLanes = (1u << kPriorityClassCount) - 1u;
+
+inline constexpr LaneMask lane_bit(Priority p) {
+  return 1u << static_cast<unsigned>(p);
+}
+
+/// Per-lane service shares for the deficit-weighted round-robin queue.
+/// Semantics of one weight:
+///   * +infinity — strict tier: always served first (priority order
+///     among infinite lanes),
+///   * finite > 0 — weighted tier: deficit round-robin, long-run service
+///     proportional to the weight while backlogged,
+///   * 0 — idle tier: served only when every other tier is empty.
+using LaneWeights = std::array<double, kPriorityClassCount>;
+
+/// The {inf, 1, 0} configuration that reproduces the legacy strict
+/// priority policy exactly: interactive preempts, batch is the only
+/// weighted lane (so it always wins the weighted tier), best-effort runs
+/// only when both are empty. This is the default, so existing callers
+/// see unchanged scheduling.
+inline LaneWeights strict_lane_weights() {
+  return {std::numeric_limits<double>::infinity(), 1.0, 0.0};
+}
 
 /// Stable lowercase name ("interactive" / "batch" / "best_effort") used
 /// in metrics JSON and log lines.

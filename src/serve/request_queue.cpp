@@ -1,6 +1,8 @@
 #include "serve/request_queue.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -21,6 +23,8 @@ std::chrono::nanoseconds slack_of(const ServeRequest& r,
                           : std::chrono::nanoseconds::max();
 }
 
+bool finite_positive(double w) { return w > 0.0 && std::isfinite(w); }
+
 }  // namespace
 
 RequestQueue::Admission RequestQueue::admit(
@@ -40,6 +44,25 @@ RequestQueue::Admission RequestQueue::admit(
   return Admission::kAccept;
 }
 
+void RequestQueue::set_weights(const LaneWeights& weights) {
+  double min_finite = std::numeric_limits<double>::infinity();
+  for (const double w : weights) {
+    YOLOC_CHECK(!std::isnan(w) && w >= 0.0,
+                "request queue: lane weight must be >= 0 (or +inf)");
+    if (finite_positive(w)) min_finite = std::min(min_finite, w);
+  }
+  weights_ = weights;
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    // Normalize so the smallest weighted lane earns one image of credit
+    // per rotation: a pop then needs at most max-head-cost rotations.
+    quantum_[i] = finite_positive(weights[i]) ? weights[i] / min_finite : 0.0;
+    deficit_[i] = 0.0;
+  }
+  cursor_ = 0;
+  visit_credited_ = false;
+}
+
 void RequestQueue::push(ServeRequest req) {
   const auto lane = static_cast<std::size_t>(req.priority);
   YOLOC_CHECK(lane < lanes_.size(), "request queue: bad priority class");
@@ -52,6 +75,16 @@ bool RequestQueue::empty() const {
     if (!lane.empty()) return false;
   }
   return true;
+}
+
+bool RequestQueue::has_work(LaneMask mask) const {
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    if ((mask & lane_bit(static_cast<Priority>(c))) != 0 &&
+        !lanes_[static_cast<std::size_t>(c)].empty()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::uint64_t RequestQueue::depth(Priority p) const {
@@ -84,48 +117,137 @@ std::vector<ServeRequest> RequestQueue::take_expired(
   return expired;
 }
 
+void RequestQueue::advance_cursor() {
+  cursor_ = (cursor_ + 1) % kPriorityClassCount;
+  visit_credited_ = false;
+}
+
+int RequestQueue::pick_lane(LaneMask mask) {
+  // Restricted mask (a reserved worker): serve the highest-priority
+  // non-empty lane in the mask directly — dedicated capacity sits
+  // outside the fair share, so DWRR state is untouched.
+  if (mask != kAllLanes) {
+    for (int c = 0; c < kPriorityClassCount; ++c) {
+      if ((mask & lane_bit(static_cast<Priority>(c))) != 0 &&
+          !lanes_[static_cast<std::size_t>(c)].empty()) {
+        return c;
+      }
+    }
+    return -1;
+  }
+
+  // Strict tier: +inf lanes always win, priority order among them.
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (std::isinf(weights_[i]) && !lanes_[i].empty()) return c;
+  }
+
+  // Weighted tier: deficit round-robin over finite positive lanes.
+  bool any_weighted = false;
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (quantum_[i] <= 0.0) continue;
+    if (lanes_[i].empty()) {
+      // A lane must not hoard credit across an idle period.
+      deficit_[i] = 0.0;
+    } else {
+      any_weighted = true;
+    }
+  }
+  if (any_weighted) {
+    // Terminates: every full rotation grants each backlogged weighted
+    // lane >= 1 image of credit (quantum_ is min-normalized), so within
+    // max-head-cost rotations some lane affords its head.
+    for (;;) {
+      const auto i = static_cast<std::size_t>(cursor_);
+      if (quantum_[i] <= 0.0 || lanes_[i].empty()) {
+        advance_cursor();
+        continue;
+      }
+      if (!visit_credited_) {
+        deficit_[i] += quantum_[i];
+        visit_credited_ = true;
+      }
+      const double head_cost =
+          static_cast<double>(lanes_[i].front().input.shape()[0]);
+      if (deficit_[i] >= head_cost) return cursor_;
+      advance_cursor();
+    }
+  }
+
+  // Idle tier: weight-0 lanes run only when everything above is empty.
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    if (!lanes_[static_cast<std::size_t>(c)].empty()) return c;
+  }
+  return -1;
+}
+
+std::vector<ServeRequest> RequestQueue::form_batch(
+    int lane_index, int max_batch, ServeClock::time_point now,
+    std::uint64_t est_image_ns, std::uint64_t* images_taken) {
+  auto& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  std::vector<ServeRequest> batch;
+  batch.push_back(std::move(lane.front()));
+  lane.pop_front();
+  deadline_count_ -= batch.front().has_deadline() ? 1 : 0;
+  std::uint64_t images =
+      static_cast<std::uint64_t>(batch.front().input.shape()[0]);
+  auto min_slack = slack_of(batch.front(), now);
+
+  for (auto it = lane.begin();
+       it != lane.end() && static_cast<int>(batch.size()) < max_batch;) {
+    if (!same_geometry(it->input, batch.front().input)) {
+      ++it;  // incompatible geometry: leave in place, keep scanning
+      continue;
+    }
+    const auto candidate_images =
+        images + static_cast<std::uint64_t>(it->input.shape()[0]);
+    const auto candidate_slack = std::min(min_slack, slack_of(*it, now));
+    if (est_image_ns != 0 &&
+        candidate_slack != std::chrono::nanoseconds::max() &&
+        std::chrono::nanoseconds(est_image_ns * candidate_images) >
+            candidate_slack) {
+      // Deadline-aware window: adding THIS candidate would blow the
+      // tightest deadline in the forming batch. Skip it and keep
+      // scanning — a later request with fewer images may still fit.
+      ++it;
+      continue;
+    }
+    deadline_count_ -= it->has_deadline() ? 1 : 0;
+    batch.push_back(std::move(*it));
+    it = lane.erase(it);
+    images = candidate_images;
+    min_slack = candidate_slack;
+  }
+  *images_taken = images;
+  return batch;
+}
+
+std::vector<ServeRequest> RequestQueue::pop_batch(
+    const std::array<int, kPriorityClassCount>& lane_max_batch,
+    ServeClock::time_point now, std::uint64_t est_image_ns, LaneMask mask) {
+  const int lane = pick_lane(mask);
+  if (lane < 0) return {};
+  const auto i = static_cast<std::size_t>(lane);
+  YOLOC_CHECK(lane_max_batch[i] >= 1, "request queue: lane max_batch >= 1");
+  std::uint64_t images = 0;
+  std::vector<ServeRequest> batch =
+      form_batch(lane, lane_max_batch[i], now, est_image_ns, &images);
+  if (mask == kAllLanes && quantum_[i] > 0.0 && !std::isinf(weights_[i])) {
+    // Charge the weighted lane for what it actually consumed. A batch
+    // may overshoot the credit (never by more than one batch); the lane
+    // then waits proportionally longer before its next service.
+    deficit_[i] -= static_cast<double>(images);
+  }
+  return batch;
+}
+
 std::vector<ServeRequest> RequestQueue::pop_batch(
     int max_batch, ServeClock::time_point now, std::uint64_t est_image_ns) {
   YOLOC_CHECK(max_batch >= 1, "request queue: max_batch >= 1");
-  std::vector<ServeRequest> batch;
-  for (auto& lane : lanes_) {
-    if (lane.empty()) continue;
-
-    batch.push_back(std::move(lane.front()));
-    lane.pop_front();
-    deadline_count_ -= batch.front().has_deadline() ? 1 : 0;
-    std::uint64_t images =
-        static_cast<std::uint64_t>(batch.front().input.shape()[0]);
-    auto min_slack = slack_of(batch.front(), now);
-
-    for (auto it = lane.begin();
-         it != lane.end() && static_cast<int>(batch.size()) < max_batch;) {
-      if (!same_geometry(it->input, batch.front().input)) {
-        ++it;  // incompatible geometry: leave in place, keep scanning
-        continue;
-      }
-      const auto candidate_images =
-          images + static_cast<std::uint64_t>(it->input.shape()[0]);
-      const auto candidate_slack = std::min(min_slack, slack_of(*it, now));
-      if (est_image_ns != 0 &&
-          candidate_slack != std::chrono::nanoseconds::max() &&
-          std::chrono::nanoseconds(est_image_ns * candidate_images) >
-              candidate_slack) {
-        // Deadline-aware window: adding THIS candidate would blow the
-        // tightest deadline in the forming batch. Skip it and keep
-        // scanning — a later request with fewer images may still fit.
-        ++it;
-        continue;
-      }
-      deadline_count_ -= it->has_deadline() ? 1 : 0;
-      batch.push_back(std::move(*it));
-      it = lane.erase(it);
-      images = candidate_images;
-      min_slack = candidate_slack;
-    }
-    break;  // strict priority: never mix lanes in one batch
-  }
-  return batch;
+  std::array<int, kPriorityClassCount> caps;
+  caps.fill(max_batch);
+  return pop_batch(caps, now, est_image_ns, kAllLanes);
 }
 
 }  // namespace yoloc

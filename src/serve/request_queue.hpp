@@ -1,17 +1,35 @@
 #pragma once
-// Priority request queue with admission control and deadline harvesting.
+// Priority request queue with admission control, deadline harvesting,
+// and a deficit-weighted round-robin (DWRR) lane scheduler.
 //
-// Three FIFO lanes, one per Priority class. Scheduling policy:
-//   * strict priority across lanes — a batch always forms from the
-//     highest non-empty class (interactive starves best-effort, by
-//     design; admission caps bound the damage),
-//   * FIFO within a lane — at max_microbatch = 1 this is what keeps the
-//     scheduler's execution order equal to admission order for uniform
-//     traffic, preserving the bit-identical determinism contract,
-//   * greedy compatible batching — pop_batch() pulls further requests
-//     from the SAME lane with the SAME image geometry (C/H/W) into the
-//     forming batch, skipping over incompatible ones, up to the caller's
-//     cap and a deadline-aware growth window.
+// Three FIFO lanes, one per Priority class. Lane selection is driven by
+// per-lane weights (see LaneWeights in request.hpp):
+//   * strict tier (weight = +inf) — always served first, priority order,
+//   * weighted tier (finite weight > 0) — deficit round-robin: each lane
+//     carries a deficit counter in image units; visiting the cursor lane
+//     grants it `weight` images of credit once per visit, a lane is
+//     served while its credit covers the head request, and served images
+//     are charged back. While every weighted lane is backlogged, lane i
+//     receives a w_i / sum(w) share of service and the gap between two
+//     services of lane i is bounded by ceil(cost_i / w_i) full rotations
+//     — no lane starves,
+//   * idle tier (weight = 0) — served only when both tiers above are
+//     empty.
+// The default weights are strict_lane_weights() = {inf, 1, 0}, which
+// reproduces the legacy strict-priority policy exactly.
+//
+// Within a lane requests are FIFO — at max_microbatch = 1 this is what
+// keeps the scheduler's execution order equal to admission order for
+// uniform traffic, preserving the bit-identical determinism contract.
+// Batch formation is greedy compatible batching: pop_batch() pulls
+// further requests from the SAME lane with the SAME image geometry
+// (C/H/W) into the forming batch, skipping over incompatible ones, up to
+// the lane's cap and a deadline-aware growth window.
+//
+// Lane masks: a pop restricted to a subset of lanes (a reserved worker)
+// serves the highest-priority non-empty lane in its mask directly and
+// does NOT touch the DWRR deficits — reservations are capacity
+// carve-outs on top of the fair share, not part of it.
 //
 // NOT internally synchronized: queue state and scheduling decisions must
 // change atomically together, so the Scheduler guards the queue with its
@@ -47,9 +65,18 @@ class RequestQueue {
                                 std::uint64_t max_depth,
                                 std::uint64_t est_image_ns) const;
 
+  /// Install the per-lane DWRR weights (validated: no NaN, no negative).
+  /// Finite positive weights are normalized so the smallest equals 1,
+  /// bounding the rotations one pop may need to accumulate credit.
+  /// Resets the round-robin state; call before serving traffic.
+  void set_weights(const LaneWeights& weights);
+  [[nodiscard]] const LaneWeights& weights() const { return weights_; }
+
   void push(ServeRequest req);
 
   [[nodiscard]] bool empty() const;
+  /// True when any lane selected by `mask` is non-empty.
+  [[nodiscard]] bool has_work(LaneMask mask) const;
   [[nodiscard]] std::uint64_t depth(Priority p) const;
   [[nodiscard]] std::array<std::uint64_t, kPriorityClassCount> depths() const;
 
@@ -61,23 +88,56 @@ class RequestQueue {
   /// deadline-less-traffic case pays no scan under the scheduler lock.
   std::vector<ServeRequest> take_expired(ServeClock::time_point now);
 
-  /// Form one batch: head of the highest non-empty lane, then greedy
-  /// same-lane same-geometry pulls. A candidate is skipped when adding
-  /// it would push the estimated batch execution time
+  /// Form one batch: pick a lane per the DWRR policy above (restricted
+  /// to `mask`), then greedily pull same-lane same-geometry requests up
+  /// to `lane_max_batch[lane]` — the lane's effective micro-batch cap,
+  /// which the scheduler derives per decision from the lane's SLO budget
+  /// (SLO-aware auto-batching). A candidate is skipped when adding it
+  /// would push the estimated batch execution time
   /// (total_images * est_image_ns) past the tightest remaining slack of
   /// any member — a deadline-aware window (est_image_ns = 0 disables
   /// it; later, smaller candidates may still fit). Expired requests
   /// must be harvested with take_expired() first; this method assumes
   /// every queued request is still live. Returns an empty vector when
-  /// the queue is empty.
+  /// no lane in `mask` has work.
+  std::vector<ServeRequest> pop_batch(
+      const std::array<int, kPriorityClassCount>& lane_max_batch,
+      ServeClock::time_point now, std::uint64_t est_image_ns,
+      LaneMask mask = kAllLanes);
+
+  /// Legacy single-cap convenience: every lane capped at `max_batch`,
+  /// all lanes eligible.
   std::vector<ServeRequest> pop_batch(int max_batch,
                                       ServeClock::time_point now,
                                       std::uint64_t est_image_ns);
 
  private:
+  /// DWRR lane selection among the lanes in `mask`; -1 when no eligible
+  /// lane has work. Mutates deficits / cursor only on the weighted tier.
+  int pick_lane(LaneMask mask);
+  /// Greedy same-geometry batch formation from one lane. Returns total
+  /// images taken via `images_taken`.
+  std::vector<ServeRequest> form_batch(int lane, int max_batch,
+                                       ServeClock::time_point now,
+                                       std::uint64_t est_image_ns,
+                                       std::uint64_t* images_taken);
+  void advance_cursor();
+
   std::array<std::deque<ServeRequest>, kPriorityClassCount> lanes_;
   /// Queued requests carrying a deadline; gates the take_expired() scan.
   std::size_t deadline_count_ = 0;
+
+  LaneWeights weights_ = strict_lane_weights();
+  /// Normalized finite weights (smallest positive = 1); 0 for strict /
+  /// idle lanes.
+  std::array<double, kPriorityClassCount> quantum_{0.0, 1.0, 0.0};
+  /// Image-unit service credit per weighted lane. May go transiently
+  /// negative when a formed batch overshoots the credit (the lane then
+  /// waits proportionally longer) — bounded by one batch's images.
+  std::array<double, kPriorityClassCount> deficit_{};
+  int cursor_ = 0;
+  /// Whether the cursor lane already received its quantum this visit.
+  bool visit_credited_ = false;
 };
 
 }  // namespace yoloc

@@ -42,10 +42,55 @@ Scheduler::Scheduler(const DeploymentPlan& plan, SchedulerOptions options)
     options_.workers = static_cast<int>(parallel_workers());
   }
   YOLOC_CHECK(options_.max_microbatch >= 1, "scheduler: max_microbatch >= 1");
+  int reserved = 0;
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    YOLOC_CHECK(options_.lane_reservations[i] >= 0,
+                "scheduler: lane reservation must be >= 0");
+    YOLOC_CHECK(options_.lane_slo[i].count() >= 0,
+                "scheduler: lane SLO must be >= 0");
+    reserved += options_.lane_reservations[i];
+  }
+  // Every lane must stay reachable: lanes without a reservation are only
+  // served by shared workers, so at least one must remain.
+  YOLOC_CHECK(reserved < options_.workers,
+              "scheduler: lane reservations must leave a shared worker");
+  has_reservations_ = reserved > 0;
+  queue_.set_weights(options_.lane_weights);  // validates the weights
+
+  worker_masks_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    const int n = options_.lane_reservations[static_cast<std::size_t>(c)];
+    for (int i = 0; i < n; ++i) {
+      worker_masks_.push_back(lane_bit(static_cast<Priority>(c)));
+    }
+  }
+  while (static_cast<int>(worker_masks_.size()) < options_.workers) {
+    worker_masks_.push_back(kAllLanes);
+  }
+
   threads_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+std::array<int, kPriorityClassCount> Scheduler::lane_batch_caps(
+    std::uint64_t est_image_ns) const {
+  std::array<int, kPriorityClassCount> caps;
+  caps.fill(options_.max_microbatch);
+  if (est_image_ns == 0) return caps;  // no estimate yet: global cap
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const std::int64_t slo_ns = options_.lane_slo[i].count();
+    if (slo_ns <= 0) continue;
+    const auto budget = static_cast<std::uint64_t>(slo_ns) / est_image_ns;
+    caps[i] = std::clamp(static_cast<int>(std::min<std::uint64_t>(
+                             budget, static_cast<std::uint64_t>(
+                                         options_.max_microbatch))),
+                         1, options_.max_microbatch);
+  }
+  return caps;
 }
 
 Scheduler::~Scheduler() { shutdown(); }
@@ -122,6 +167,11 @@ std::future<Tensor> Scheduler::submit(Tensor images, SubmitOptions options) {
   if (rejection) {
     metrics_.record_rejected(options.priority);
     req.promise.set_exception(rejection);
+  } else if (has_reservations_) {
+    // notify_one could wake a worker whose lane mask excludes this
+    // request (it would go straight back to sleep and nobody else is
+    // woken — a lost wakeup). With reservations active, wake everyone.
+    work_cv_.notify_all();
   } else {
     work_cv_.notify_one();
   }
@@ -182,6 +232,7 @@ void Scheduler::worker_loop(int worker_index) {
   // than re-entering the shared parallel_for pool.
   ParallelSerialGuard serial_guard;
   ExecutionContext ctx(*plan_, options_.noise_seed);
+  const LaneMask mask = worker_masks_[static_cast<std::size_t>(worker_index)];
 
   for (;;) {
     std::vector<ServeRequest> batch;
@@ -193,7 +244,8 @@ void Scheduler::worker_loop(int worker_index) {
       for (;;) {
         const auto now = ServeClock::now();
         // Expiry first: a dead deadline must never occupy a worker or
-        // ride along in a batch.
+        // ride along in a batch. Workers harvest ALL lanes regardless
+        // of their mask — cancellation is cheap and lane-agnostic.
         expired = queue_.take_expired(now);
         if (!expired.empty()) {
           // Count canceled requests as in-flight until their futures
@@ -201,23 +253,24 @@ void Scheduler::worker_loop(int worker_index) {
           in_flight_ += static_cast<int>(expired.size());
           break;
         }
-        if (!queue_.empty()) {
+        if (queue_.has_work(mask)) {
           const std::uint64_t est =
-              options_.deadline_aware_batching
-                  ? ewma_image_ns_.load(std::memory_order_relaxed)
-                  : 0;
-          batch = queue_.pop_batch(options_.max_microbatch, now, est);
+              ewma_image_ns_.load(std::memory_order_relaxed);
+          const std::uint64_t window_est =
+              options_.deadline_aware_batching ? est : 0;
+          batch = queue_.pop_batch(lane_batch_caps(est), now, window_est,
+                                   mask);
           batch_id = next_batch_id_++;
           in_flight_ += static_cast<int>(batch.size());
           pickup = now;
           break;
         }
         if (stop_) return;
-        // A worker only sleeps on an EMPTY queue (pop_batch always
-        // takes the head of the highest non-empty lane), so there is
-        // never a queued deadline to time out against here: expiry is
-        // harvested at the scheduling points — batch formation above
-        // and every submit().
+        // A worker only sleeps when no lane in its mask has work
+        // (pop_batch always serves some eligible non-empty lane), so
+        // there is never a queued deadline to time out against here:
+        // expiry is harvested at the scheduling points — batch
+        // formation above and every submit().
         work_cv_.wait(lock);
       }
     }

@@ -3,12 +3,16 @@
 //
 // The scheduling layer between callers and the plan (the software
 // counterpart of keeping a mixed ROM+SRAM CiM array pipeline full under
-// bursty load): requests enter a three-class priority queue
-// (interactive / batch / best-effort) with optional deadlines; idle
-// workers greedily pull compatible requests (same priority class, same
-// image geometry) into a forming batch and execute ONE forward pass —
-// continuous batching, no fixed batch boundaries, workers never idle
-// while compatible work is queued.
+// bursty load): requests enter a three-lane queue (interactive / batch /
+// best-effort) with optional deadlines; lanes are scheduled by
+// deficit-weighted round-robin (strict priority is the {inf, 1, 0}
+// default weight configuration — see LaneWeights), optionally with
+// per-lane worker reservations so interactive traffic always has
+// headroom; idle workers greedily pull compatible requests (same lane,
+// same image geometry) into a forming batch — capped per decision by
+// the lane's SLO-derived effective micro-batch — and execute ONE
+// forward pass: continuous batching, no fixed batch boundaries, workers
+// never idle while compatible work is queued.
 //
 // Admission control refuses work that cannot be served: lanes have an
 // optional depth cap, and a deadline tighter than the rolling per-image
@@ -57,6 +61,8 @@ struct SchedulerOptions {
   /// Worker threads. 0 = parallel_workers() (which honours YOLOC_THREADS).
   int workers = 0;
   /// Max requests fused into one forward pass. 1 = deterministic mode.
+  /// Per scheduling decision each lane derives an EFFECTIVE cap from its
+  /// SLO budget (see lane_slo); this is the global ceiling.
   int max_microbatch = 8;
   /// Base noise seed; batches derive their stream from it.
   std::uint64_t noise_seed = 2024;
@@ -67,6 +73,24 @@ struct SchedulerOptions {
   /// Cap batch growth by the tightest member deadline against the
   /// rolling per-image service estimate.
   bool deadline_aware_batching = true;
+  /// Per-lane DWRR service shares (see LaneWeights). The default,
+  /// strict_lane_weights() = {inf, 1, 0}, reproduces the legacy strict
+  /// priority policy exactly; finite weights (e.g. {8, 3, 1}) bound
+  /// best-effort starvation to its proportional share.
+  LaneWeights lane_weights = strict_lane_weights();
+  /// Workers dedicated to one lane (carved out of `workers`): the first
+  /// lane_reservations[0] workers serve ONLY interactive, the next
+  /// [1] only batch, and so on; the rest are shared. Guarantees
+  /// headroom: a reserved lane never waits behind another lane's batch.
+  /// Sum must leave at least one shared worker.
+  std::array<int, kPriorityClassCount> lane_reservations{};
+  /// Per-lane latency budget (SLO) driving auto-batching: each
+  /// scheduling decision caps the lane's micro-batch at
+  /// clamp(slo / ewma_image_estimate, 1, max_microbatch), so a lane
+  /// with a tight budget stops fusing large batches as soon as the
+  /// rolling estimate says they would overrun it. Zero = no budget
+  /// (global max_microbatch applies).
+  std::array<std::chrono::nanoseconds, kPriorityClassCount> lane_slo{};
 };
 
 class Scheduler {
@@ -98,6 +122,12 @@ class Scheduler {
 
   /// Merged telemetry; see MetricsSnapshot::to_json() for the schema.
   [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+  /// Prometheus text exposition (version 0.0.4) of the same snapshot;
+  /// every metric name is documented in docs/serving.md (enforced by
+  /// the `docs`-labeled CTest).
+  [[nodiscard]] std::string to_prometheus() const {
+    return metrics_snapshot().to_prometheus();
+  }
   /// Zero the telemetry counters/histograms (macro stats are separate —
   /// see reset_stats()). Call after wait_idle() to scope a later
   /// snapshot to a measurement phase, excluding warmup traffic.
@@ -126,10 +156,19 @@ class Scheduler {
   /// Caller must have added them to in_flight_ under the queue lock.
   void cancel_expired(std::vector<ServeRequest> expired);
 
+  /// Effective per-lane micro-batch caps for one scheduling decision:
+  /// the SLO-aware auto-batch rule described at SchedulerOptions::
+  /// lane_slo, evaluated against the current service estimate `est`.
+  [[nodiscard]] std::array<int, kPriorityClassCount> lane_batch_caps(
+      std::uint64_t est_image_ns) const;
+
   const DeploymentPlan* plan_;
   SchedulerOptions options_;
   MetricsRegistry metrics_;
   std::vector<std::thread> threads_;
+  /// Lane eligibility per worker (reserved workers get one lane).
+  std::vector<LaneMask> worker_masks_;
+  bool has_reservations_ = false;
 
   /// Rolling per-image service-time estimate [ns] feeding admission
   /// feasibility and the deadline-aware batching window. Monotonic

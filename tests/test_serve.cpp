@@ -13,6 +13,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <map>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -237,6 +240,159 @@ TEST(RequestQueue, AdmissionDecisions) {
   EXPECT_EQ(q.admit(Priority::kBatch, now, now + milliseconds(10), 1, 0,
                     2'000'000),
             RequestQueue::Admission::kAccept);
+}
+
+// ------------------------------------------- weighted-fair lane policy
+
+/// Pop `n` single-request batches and return the lane sequence.
+std::vector<Priority> pop_sequence(RequestQueue& q, int n) {
+  const auto now = ServeClock::now();
+  std::vector<Priority> seq;
+  for (int i = 0; i < n; ++i) {
+    auto b = q.pop_batch(1, now, 0);
+    if (b.empty()) break;
+    seq.push_back(b[0].priority);
+  }
+  return seq;
+}
+
+TEST(RequestQueueWeighted, DeficitRoundRobinHonorsShares) {
+  RequestQueue q;
+  q.set_weights({4.0, 2.0, 1.0});
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    q.push(make_queued(id++, Priority::kInteractive, {1, 3, 8, 8}));
+    q.push(make_queued(id++, Priority::kBatch, {1, 3, 8, 8}));
+    q.push(make_queued(id++, Priority::kBestEffort, {1, 3, 8, 8}));
+  }
+  // One full DWRR rotation serves 4 interactive, 2 batch, 1 best-effort:
+  // proportional shares while every lane is backlogged, and best-effort
+  // is served at least once per rotation — the starvation bound.
+  const auto seq = pop_sequence(q, 14);
+  const std::vector<Priority> expected = {
+      Priority::kInteractive, Priority::kInteractive, Priority::kInteractive,
+      Priority::kInteractive, Priority::kBatch,       Priority::kBatch,
+      Priority::kBestEffort,  Priority::kInteractive, Priority::kInteractive,
+      Priority::kInteractive, Priority::kInteractive, Priority::kBatch,
+      Priority::kBatch,       Priority::kBestEffort};
+  EXPECT_EQ(seq, expected);
+}
+
+TEST(RequestQueueWeighted, StarvationGapBoundedUnderFlood) {
+  RequestQueue q;
+  q.set_weights({6.0, 1.0, 1.0});
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    q.push(make_queued(i, Priority::kInteractive, {1, 3, 8, 8}));
+  }
+  q.push(make_queued(100, Priority::kBestEffort, {1, 3, 8, 8}));
+  q.push(make_queued(101, Priority::kBestEffort, {1, 3, 8, 8}));
+  // Deficit round-robin bound: with weights {6, _, 1} a backlogged
+  // best-effort lane is served at least once every 7 pops — the flood
+  // cannot push it past one rotation.
+  const auto seq = pop_sequence(q, 16);
+  int first_be = -1;
+  int second_be = -1;
+  for (int i = 0; i < static_cast<int>(seq.size()); ++i) {
+    if (seq[static_cast<std::size_t>(i)] != Priority::kBestEffort) continue;
+    (first_be < 0 ? first_be : second_be) = i;
+    if (second_be >= 0) break;
+  }
+  ASSERT_GE(first_be, 0);
+  ASSERT_GE(second_be, 0);
+  EXPECT_LE(first_be, 6);
+  EXPECT_LE(second_be - first_be, 7);
+}
+
+TEST(RequestQueueWeighted, InfiniteAndZeroWeightTiers) {
+  RequestQueue q;
+  q.set_weights(strict_lane_weights());  // {inf, 1, 0}
+  q.push(make_queued(0, Priority::kBestEffort, {1, 3, 8, 8}));
+  q.push(make_queued(1, Priority::kBatch, {1, 3, 8, 8}));
+  q.push(make_queued(2, Priority::kInteractive, {1, 3, 8, 8}));
+  q.push(make_queued(3, Priority::kInteractive, {1, 3, 8, 8}));
+  // Strict tier drains fully first, then the weighted lane, and the
+  // weight-0 lane only when everything else is empty — the legacy
+  // strict-priority order.
+  const auto seq = pop_sequence(q, 4);
+  const std::vector<Priority> expected = {
+      Priority::kInteractive, Priority::kInteractive, Priority::kBatch,
+      Priority::kBestEffort};
+  EXPECT_EQ(seq, expected);
+
+  // Weights must be sane.
+  RequestQueue bad;
+  EXPECT_THROW(bad.set_weights({-1.0, 1.0, 0.0}), std::runtime_error);
+}
+
+TEST(RequestQueueWeighted, HeavyHeadAccumulatesCreditAcrossRotations) {
+  RequestQueue q;
+  q.set_weights({0.0, 3.0, 1.0});
+  // Best-effort head carries 4 images: with weight 1 it must accumulate
+  // credit over several rotations while batch (weight 3) keeps serving.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    q.push(make_queued(i, Priority::kBatch, {1, 3, 8, 8}));
+  }
+  q.push(make_queued(50, Priority::kBestEffort, {4, 3, 8, 8}));
+  const auto seq = pop_sequence(q, 14);
+  int be_index = -1;
+  for (int i = 0; i < static_cast<int>(seq.size()); ++i) {
+    if (seq[static_cast<std::size_t>(i)] == Priority::kBestEffort) {
+      be_index = i;
+      break;
+    }
+  }
+  // Needs 4 credits at 1/rotation, each rotation serving 3 batch pops:
+  // served on the 4th rotation, i.e. after 9-12 batch pops, not before
+  // (proportionality holds in image units, not request counts).
+  ASSERT_GE(be_index, 0);
+  EXPECT_GE(be_index, 9);
+  EXPECT_LE(be_index, 13);
+}
+
+TEST(RequestQueueWeighted, LaneMaskRestrictsAndBypassesWeights) {
+  RequestQueue q;
+  q.set_weights({4.0, 2.0, 1.0});
+  q.push(make_queued(0, Priority::kInteractive, {1, 3, 8, 8}));
+  q.push(make_queued(1, Priority::kBatch, {1, 3, 8, 8}));
+  q.push(make_queued(2, Priority::kBestEffort, {1, 3, 8, 8}));
+
+  EXPECT_TRUE(q.has_work(kAllLanes));
+  EXPECT_TRUE(q.has_work(lane_bit(Priority::kBestEffort)));
+
+  // A reserved worker's single-lane mask serves its lane directly, even
+  // though DWRR would have picked interactive first.
+  const auto now = ServeClock::now();
+  std::array<int, kPriorityClassCount> caps;
+  caps.fill(8);
+  auto b = q.pop_batch(caps, now, 0, lane_bit(Priority::kBestEffort));
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].id, 2u);
+  EXPECT_FALSE(q.has_work(lane_bit(Priority::kBestEffort)));
+
+  // Mask with no matching work yields an empty batch.
+  EXPECT_TRUE(q.pop_batch(caps, now, 0, lane_bit(Priority::kBestEffort))
+                  .empty());
+
+  // Masked pops did not disturb the weighted tier: interactive (weight
+  // 4) still wins the next full-mask pop.
+  b = q.pop_batch(caps, now, 0, kAllLanes);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].id, 0u);
+}
+
+TEST(RequestQueueWeighted, PerLaneCapsBoundGreedyPulls) {
+  RequestQueue q;
+  q.set_weights({4.0, 2.0, 1.0});
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    q.push(make_queued(i, Priority::kInteractive, {1, 3, 8, 8}));
+  }
+  const auto now = ServeClock::now();
+  std::array<int, kPriorityClassCount> caps = {2, 8, 8};
+  // The interactive lane's effective cap (2) binds even though the
+  // global cap would allow all six — SLO-aware auto-batching plumbing.
+  auto b = q.pop_batch(caps, now, 0, kAllLanes);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(q.depth(Priority::kInteractive), 4u);
 }
 
 TEST(TensorRows, SliceAndConcatRoundTrip) {
@@ -527,6 +683,191 @@ TEST(Scheduler, GracefulShutdownDrainsByPriority) {
       3u);
 }
 
+// ------------------------------------------- weighted-fair scheduling
+
+TEST(SchedulerWeighted, BestEffortBoundedUnderInteractiveFlood) {
+  auto plan = make_plan(MacroMvmEngine::Mode::kAnalog);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.max_microbatch = 1;
+  options.lane_weights = {4.0, 2.0, 1.0};
+  Scheduler scheduler(*plan, options);
+
+  // Occupy the single worker, then queue an interactive flood AND two
+  // best-effort requests. Under strict priority the flood would starve
+  // them until it fully drains; under DWRR each best-effort request is
+  // served within one rotation. Flood requests carry 4 images (~6 ms of
+  // analog work each) so the backlog still holds many tens of ms of
+  // work when we sample below — the assertions tolerate a heavily
+  // descheduled test thread.
+  auto blocker = scheduler.submit(make_blocker_input(),
+                                  {Priority::kInteractive, milliseconds(0)});
+  std::vector<std::shared_future<Tensor>> flood;
+  for (int i = 0; i < 20; ++i) {
+    flood.push_back(
+        scheduler
+            .submit(make_input(600 + static_cast<unsigned>(i), {4, 3, 8, 8}),
+                    {Priority::kInteractive, milliseconds(0)})
+            .share());
+  }
+  std::vector<std::shared_future<Tensor>> best_effort;
+  for (int i = 0; i < 2; ++i) {
+    best_effort.push_back(
+        scheduler
+            .submit(make_input(700 + static_cast<unsigned>(i), {1, 3, 8, 8}),
+                    {Priority::kBestEffort, milliseconds(0)})
+            .share());
+  }
+
+  // Weights {4, _, 1} in image units with 4-image flood requests means
+  // one flood request per rotation: both best-effort singles are served
+  // within the first ~3 services after the blocker, leaving >= 17 flood
+  // requests (~100 ms of work) still queued when this returns.
+  best_effort[1].wait();
+  EXPECT_EQ(flood[19].wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "best-effort should be served while the flood is still backlogged";
+  int flood_done = 0;
+  for (const auto& f : flood) {
+    flood_done += f.wait_for(std::chrono::seconds(0)) ==
+                          std::future_status::ready
+                      ? 1
+                      : 0;
+  }
+  // ~3 flood requests precede the 2nd best-effort service; tolerate the
+  // worker draining several more while this thread is descheduled.
+  EXPECT_LE(flood_done, 10);
+
+  for (auto& f : flood) (void)f.get();
+  for (auto& f : best_effort) (void)f.get();
+  (void)blocker.get();
+  scheduler.wait_idle();
+  const MetricsSnapshot snap = scheduler.metrics_snapshot();
+  EXPECT_EQ(snap.served_requests, 23u);
+}
+
+TEST(SchedulerWeighted, MicrobatchOneStaysBitIdenticalToSerial) {
+  auto plan = make_plan(MacroMvmEngine::Mode::kAnalog);
+  const int kRequests = 6;
+  const std::uint64_t kSeed = 4242;
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(make_input(800 + static_cast<unsigned>(i), {1, 3, 8, 8}));
+  }
+  std::vector<Tensor> serial_out(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    ExecutionContext ctx(*plan, kSeed + static_cast<std::uint64_t>(i));
+    serial_out[static_cast<std::size_t>(i)] =
+        ctx.infer(inputs[static_cast<std::size_t>(i)]);
+  }
+
+  // Weighted-fair reorders SERVICE, not noise streams: admission ids
+  // still pin each request's stream, so outputs stay bit-identical.
+  SchedulerOptions options;
+  options.workers = 2;
+  options.max_microbatch = 1;
+  options.noise_seed = kSeed;
+  options.lane_weights = {3.0, 2.0, 1.0};
+  Scheduler scheduler(*plan, options);
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    SubmitOptions so;
+    so.priority = static_cast<Priority>(i % kPriorityClassCount);
+    futures.push_back(
+        scheduler.submit(inputs[static_cast<std::size_t>(i)], so));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(bit_identical(serial_out[static_cast<std::size_t>(i)],
+                              futures[static_cast<std::size_t>(i)].get()))
+        << "request " << i;
+  }
+}
+
+TEST(SchedulerWeighted, ReservedWorkerKeepsInteractiveHeadroom) {
+  auto plan = make_plan(MacroMvmEngine::Mode::kAnalog);
+  SchedulerOptions options;
+  options.workers = 2;
+  options.max_microbatch = 1;  // keep the three blockers as three batches
+  options.lane_reservations = {1, 0, 0};  // 1 interactive-only + 1 shared
+  Scheduler scheduler(*plan, options);
+
+  // Three ~50 ms batch blockers: the shared worker takes the first; the
+  // reserved worker must leave the other two queued.
+  std::vector<std::shared_future<Tensor>> blockers;
+  for (int i = 0; i < 3; ++i) {
+    blockers.push_back(scheduler
+                           .submit(make_blocker_input(),
+                                   {Priority::kBatch, milliseconds(0)})
+                           .share());
+  }
+  std::this_thread::sleep_for(milliseconds(10));
+  const MetricsSnapshot mid = scheduler.metrics_snapshot();
+  EXPECT_EQ(
+      mid.classes[static_cast<std::size_t>(Priority::kBatch)].queue_depth, 2u)
+      << "reserved worker must not pick up batch-lane work";
+
+  // Interactive arrives late yet is served immediately by the reserved
+  // worker — long before the second blocker could even start.
+  auto interactive = scheduler.submit(make_input(9, {1, 3, 8, 8}),
+                                      {Priority::kInteractive,
+                                       milliseconds(0)});
+  (void)interactive.get();
+  EXPECT_EQ(blockers[1].wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "interactive should complete before the queued batch work";
+
+  for (auto& f : blockers) (void)f.get();
+  scheduler.wait_idle();
+  EXPECT_EQ(scheduler.metrics_snapshot().served_requests, 4u);
+
+  // Reservations must leave a shared worker for the other lanes.
+  SchedulerOptions bad;
+  bad.workers = 2;
+  bad.lane_reservations = {2, 0, 0};
+  EXPECT_THROW((Scheduler{*plan, bad}), std::runtime_error);
+}
+
+TEST(SchedulerWeighted, SloAutoBatchingCapsLaneOccupancy) {
+  auto plan = make_plan(MacroMvmEngine::Mode::kAnalog);
+  for (const bool tight_slo : {false, true}) {
+    SchedulerOptions options;
+    options.workers = 1;
+    options.max_microbatch = 8;
+    if (tight_slo) {
+      // A 1 ns budget forces clamp(slo / est, 1, 8) = 1 once the EWMA
+      // estimate exists: the batch lane stops fusing entirely.
+      options.lane_slo[static_cast<std::size_t>(Priority::kBatch)] =
+          std::chrono::nanoseconds(1);
+    }
+    Scheduler scheduler(*plan, options);
+    // Warmup populates the EWMA per-image estimate the SLO cap divides.
+    (void)scheduler.submit(make_input(1, {1, 3, 8, 8})).get();
+    // Blocker pins the worker while six batch requests queue up.
+    auto blocker = scheduler.submit(make_blocker_input(),
+                                    {Priority::kInteractive,
+                                     milliseconds(0)});
+    std::vector<std::future<Tensor>> queued;
+    for (int i = 0; i < 6; ++i) {
+      queued.push_back(scheduler.submit(
+          make_input(900 + static_cast<unsigned>(i), {1, 3, 8, 8})));
+    }
+    (void)blocker.get();
+    for (auto& f : queued) (void)f.get();
+    scheduler.wait_idle();
+
+    const MetricsSnapshot snap = scheduler.metrics_snapshot();
+    if (tight_slo) {
+      EXPECT_EQ(snap.max_batch_occupancy, 1)
+          << "SLO budget must stop micro-batch fusion";
+      EXPECT_EQ(snap.batches, 8u);  // warmup + blocker + 6 singles
+    } else {
+      EXPECT_EQ(snap.max_batch_occupancy, 6)
+          << "without an SLO the queued lane fuses into one batch";
+      EXPECT_EQ(snap.batches, 3u);  // warmup + blocker + 1 fused batch
+    }
+  }
+}
+
 // -------------------------------------------------- telemetry surface
 
 TEST(Scheduler, SnapshotJsonCarriesTheDocumentedSchema) {
@@ -569,6 +910,107 @@ TEST(Scheduler, SnapshotJsonCarriesTheDocumentedSchema) {
   (void)scheduler.submit(make_input(5, {1, 3, 8, 8})).get();
   scheduler.wait_idle();
   EXPECT_EQ(scheduler.metrics_snapshot().served_requests, 1u);
+}
+
+TEST(Prometheus, LabelEscaping) {
+  EXPECT_EQ(prometheus_escape_label("interactive"), "interactive");
+  EXPECT_EQ(prometheus_escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(prometheus_escape_label(""), "");
+}
+
+TEST(Prometheus, ExpositionParsesAndBucketsAreMonotone) {
+  auto plan = make_plan(MacroMvmEngine::Mode::kAnalog);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.max_microbatch = 4;
+  // Strict weights so the interactive blocker is guaranteed to occupy
+  // the worker while the best-effort victim's deadline dies (under
+  // finite weights DWRR would rightly serve the cheap victim first).
+  Scheduler scheduler(*plan, options);
+
+  // Serve work on two lanes and expire a queued request so the served,
+  // expired AND histogram families all carry non-zero samples.
+  (void)scheduler.submit(make_input(1, {1, 3, 8, 8})).get();
+  auto blocker = scheduler.submit(make_blocker_input(),
+                                  {Priority::kInteractive, milliseconds(0)});
+  auto victim = scheduler.submit(make_input(2, {1, 3, 8, 8}),
+                                 {Priority::kBestEffort, milliseconds(3)});
+  EXPECT_THROW((void)victim.get(), DeadlineExpiredError);
+  (void)blocker.get();
+  scheduler.wait_idle();
+
+  const std::string text = scheduler.to_prometheus();
+
+  // Every non-comment line must be `name[{labels}] value` with a
+  // parseable value; comment lines must be # HELP / # TYPE.
+  std::map<std::string, std::vector<std::uint64_t>> bucket_series;
+  std::map<std::string, std::uint64_t> count_series;
+  std::istringstream lines(text);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    EXPECT_TRUE(end && *end == '\0') << "unparseable value in: " << line;
+    EXPECT_GE(v, 0.0) << line;
+    ++samples;
+
+    // Collect histogram series keyed by family+lane, in emission order.
+    const auto brace = series.find('{');
+    const std::string name =
+        brace == std::string::npos ? series : series.substr(0, brace);
+    const auto lane_pos = series.find("lane=\"");
+    std::string lane;
+    if (lane_pos != std::string::npos) {
+      lane = series.substr(lane_pos + 6,
+                           series.find('"', lane_pos + 6) - lane_pos - 6);
+    }
+    if (name.size() > 7 && name.rfind("_bucket") == name.size() - 7) {
+      bucket_series[name.substr(0, name.size() - 7) + "/" + lane].push_back(
+          static_cast<std::uint64_t>(v));
+    } else if (name.size() > 6 && name.rfind("_count") == name.size() - 6) {
+      count_series[name.substr(0, name.size() - 6) + "/" + lane] =
+          static_cast<std::uint64_t>(v);
+    }
+  }
+  EXPECT_GT(samples, 50);
+
+  // Cumulative bucket counts must be monotone and end at _count (+Inf).
+  ASSERT_EQ(bucket_series.size(), 9u);  // 3 histogram families x 3 lanes
+  for (const auto& [key, buckets] : bucket_series) {
+    ASSERT_FALSE(buckets.empty()) << key;
+    for (std::size_t i = 1; i < buckets.size(); ++i) {
+      EXPECT_LE(buckets[i - 1], buckets[i]) << key << " bucket " << i;
+    }
+    ASSERT_TRUE(count_series.count(key)) << key;
+    EXPECT_EQ(buckets.back(), count_series[key]) << key;
+  }
+
+  // Served and expired traffic from this run is visible.
+  EXPECT_NE(text.find("yoloc_serve_requests_served_total{lane=\"batch\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("yoloc_serve_requests_expired_total{lane=\"best_effort\"} 1"),
+      std::string::npos);
+  const std::string be_e2e_count =
+      "yoloc_serve_e2e_latency_seconds_count{lane=\"best_effort\"} 0";
+  EXPECT_NE(text.find(be_e2e_count), std::string::npos)
+      << "expired work must not pollute served-latency histograms";
+  EXPECT_NE(
+      text.find("yoloc_serve_expired_wait_seconds_count{lane=\"best_effort\"} "
+                "1"),
+      std::string::npos);
 }
 
 TEST(InferenceServer, FacadeAggregatesSchedulerFailuresIntoLegacyMetrics) {

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# docs_check.sh — fail when a metric emitted by the Prometheus
+# exposition is missing from the operator docs.
+#
+#   tools/docs_check.sh <yoloc_metrics_dump binary> <docs/serving.md>
+#
+# Runs the dump tool (a short real traffic mix against the scheduler),
+# extracts every metric family name from the exposition (stripping the
+# histogram _bucket/_sum/_count series suffixes), and greps the docs page
+# for each. Wired as the `docs`-labeled CTest and the `docs-check` CMake
+# target so the docs cannot silently drift from the code.
+
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: docs_check.sh <yoloc_metrics_dump> <docs/serving.md>" >&2
+  exit 2
+fi
+bin="$1"
+docs="$2"
+
+if [ ! -x "$bin" ]; then
+  echo "docs-check: dump binary '$bin' not found/executable" >&2
+  exit 2
+fi
+if [ ! -f "$docs" ]; then
+  echo "docs-check: docs page '$docs' not found" >&2
+  exit 2
+fi
+
+exposition=$("$bin" --seconds=0.05)
+
+# Family names: token before '{' or ' ' on sample lines, series suffixes
+# folded into their histogram family.
+names=$(printf '%s\n' "$exposition" \
+  | grep -v '^#' \
+  | sed -e 's/{.*//' -e 's/ .*//' \
+  | sed -e 's/_bucket$//' -e 's/_sum$//' -e 's/_count$//' \
+  | sort -u)
+
+if [ -z "$names" ]; then
+  echo "docs-check: exposition produced no metrics" >&2
+  exit 1
+fi
+
+missing=0
+for name in $names; do
+  if ! grep -q "$name" "$docs"; then
+    echo "docs-check: metric '$name' is not documented in $docs" >&2
+    missing=1
+  fi
+done
+
+# Sanity: the exposition must declare a type for every family it emits.
+for name in $names; do
+  if ! printf '%s\n' "$exposition" | grep -q "^# TYPE $name "; then
+    echo "docs-check: metric '$name' emitted without a # TYPE line" >&2
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
+count=$(printf '%s\n' "$names" | wc -l)
+echo "docs-check: all $count metric families documented in $docs"

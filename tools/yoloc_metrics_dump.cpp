@@ -1,0 +1,136 @@
+// Run a short mixed-traffic benchmark against the serving scheduler and
+// print the Prometheus text exposition (MetricsSnapshot::to_prometheus)
+// to stdout — the operator-facing way to see exactly what a /metrics
+// endpoint would serve, and the source of truth for tools/docs_check.sh
+// (every emitted metric name must be documented in docs/serving.md).
+//
+//   build/yoloc_metrics_dump [--seconds=S] [--policy=strict|weighted]
+//                            [--json]
+//
+// The workload exercises every metric family: all three lanes carry
+// traffic, one request is submitted with an already-dead deadline
+// (rejected at admission) and a burst of deliberately tight deadlines
+// populates the expired counters/histogram.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "nn/zoo.hpp"
+#include "runtime/deployment_plan.hpp"
+#include "serve/scheduler.hpp"
+
+namespace {
+
+using namespace yoloc;
+using Clock = std::chrono::steady_clock;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+constexpr int kImageSize = 16;
+
+std::unique_ptr<DeploymentPlan> build_plan() {
+  ZooConfig zoo;
+  zoo.image_size = kImageSize;
+  zoo.base_width = 8;
+  zoo.num_classes = 10;
+  LayerPtr model = build_vgg8_lite(zoo, plain_conv_unit);
+  for (Parameter* p : model->parameters()) {
+    p->rom_resident = p->name.find("backbone") != std::string::npos;
+  }
+  Rng rng(7);
+  Tensor calib =
+      Tensor::rand_uniform({8, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  DeploymentOptions options;
+  options.mode = MacroMvmEngine::Mode::kExactCost;
+  return std::make_unique<DeploymentPlan>(std::move(model), calib,
+                                          std::move(options));
+}
+
+void drain(std::vector<std::future<Tensor>>& futures) {
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+    } catch (const std::exception&) {
+      // Expected for the shed best-effort work; it is what populates the
+      // expired/rejected metric families.
+    }
+  }
+  futures.clear();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 0.3;
+  bool weighted = true;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--policy=strict") == 0) {
+      weighted = false;
+    } else if (std::strcmp(argv[i], "--policy=weighted") == 0) {
+      weighted = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: yoloc_metrics_dump [--seconds=S] "
+                   "[--policy=strict|weighted] [--json]\n");
+      return 2;
+    }
+  }
+
+  auto plan = build_plan();
+  SchedulerOptions options;
+  options.max_microbatch = 8;
+  options.max_queue_depth = 256;
+  if (weighted) {
+    options.lane_weights = {8.0, 3.0, 1.0};
+    options.lane_slo[static_cast<std::size_t>(Priority::kInteractive)] =
+        milliseconds(20);
+  }
+  Scheduler scheduler(*plan, options);
+
+  Rng rng(123);
+  const Tensor one =
+      Tensor::rand_uniform({1, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+  const Tensor four =
+      Tensor::rand_uniform({4, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
+
+  // One guaranteed admission rejection (deadline already dead).
+  try {
+    (void)scheduler.submit(one, {Priority::kBestEffort, -milliseconds(1)})
+        .get();
+  } catch (const std::exception&) {
+  }
+
+  std::vector<std::future<Tensor>> in_flight;
+  const auto start = Clock::now();
+  while (std::chrono::duration<double>(Clock::now() - start).count() <
+         seconds) {
+    in_flight.push_back(
+        scheduler.submit(one, {Priority::kInteractive, milliseconds(250)}));
+    in_flight.push_back(
+        scheduler.submit(four, {Priority::kBatch, milliseconds(0)}));
+    in_flight.push_back(
+        scheduler.submit(four, {Priority::kBatch, milliseconds(0)}));
+    // Tight enough that a loaded scheduler sheds some of this class.
+    in_flight.push_back(
+        scheduler.submit(one, {Priority::kBestEffort, microseconds(200)}));
+    if (in_flight.size() >= 64) drain(in_flight);
+  }
+  drain(in_flight);
+  scheduler.wait_idle();
+
+  const std::string text =
+      json ? scheduler.metrics_snapshot().to_json() : scheduler.to_prometheus();
+  std::fputs(text.c_str(), stdout);
+  if (json) std::fputc('\n', stdout);
+  return 0;
+}
