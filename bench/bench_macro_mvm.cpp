@@ -1,0 +1,204 @@
+// Kernel-level throughput of the CiM macro MVM: packed (deploy-time
+// weight bit-plane packing, PR "ROM packing") vs legacy (per-call mask
+// derivation — the pre-packing baseline, still compiled unchanged) across
+// {rows, input_bits, weight_bits} geometries, in analog mode with the
+// default ROM noise, in noise-free analog mode (sigma_cell = 0,
+// adc noise = 0 — the configuration every fidelity test runs), and in
+// exact-cost mode. One JSON line per (geometry, variant, path), same
+// trajectory-file conventions as bench_serving_throughput:
+//
+//   {"bench":"macro_mvm","path":"packed","variant":"analog",...,
+//    "ns_per_mac":..,"columns_per_s":..,"pack_ms":..,
+//    "speedup_vs_legacy":..}
+//
+// Before timing, each configuration asserts the packed outputs and run
+// stats are bit-identical to the legacy path under the same seed — the
+// bench refuses to report a speedup for a kernel that changed results.
+//
+//   build/bench_macro_mvm [--seconds=S]   (default 0.4s per cell)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/macro_engine.hpp"
+
+namespace {
+
+using namespace yoloc;
+using Clock = std::chrono::steady_clock;
+
+struct Geometry {
+  int rows;
+  int input_bits;
+  int weight_bits;
+};
+
+struct Variant {
+  const char* name;
+  MacroMvmEngine::Mode mode;
+  bool noise_free;
+};
+
+struct Measurement {
+  double seconds = 0.0;
+  std::uint64_t columns = 0;
+  double pack_ms = 0.0;
+  std::size_t packed_bytes = 0;
+};
+
+MacroConfig make_config(const Geometry& geom, bool noise_free) {
+  MacroConfig cfg = default_rom_macro();
+  cfg.geometry.rows = geom.rows;
+  cfg.geometry.input_bits = geom.input_bits;
+  cfg.geometry.weight_bits = geom.weight_bits;
+  if (cfg.geometry.rows_per_activation > geom.rows) {
+    cfg.geometry.rows_per_activation = geom.rows;
+  }
+  if (noise_free) {
+    cfg.bitline.sigma_cell = 0.0;
+    cfg.adc.noise_sigma_v = 0.0;
+  }
+  cfg.validate();
+  return cfg;
+}
+
+/// True when outputs AND every modeled stat agree exactly.
+bool bit_identical(const std::vector<std::int32_t>& ya,
+                   const std::vector<std::int32_t>& yb,
+                   const MacroRunStats& sa, const MacroRunStats& sb) {
+  return ya == yb && sa.array.adc_conversions == sb.array.adc_conversions &&
+         sa.array.wl_pulses == sb.array.wl_pulses &&
+         sa.array.shift_adds == sb.array.shift_adds &&
+         sa.array.adc_energy_pj == sb.array.adc_energy_pj &&
+         sa.array.precharge_energy_pj == sb.array.precharge_energy_pj &&
+         sa.array.wl_energy_pj == sb.array.wl_energy_pj &&
+         sa.array.shift_add_energy_pj == sb.array.shift_add_energy_pj &&
+         sa.macro_ops == sb.macro_ops && sa.macs == sb.macs &&
+         sa.latency_ns == sb.latency_ns;
+}
+
+Measurement run_path(const MacroMvmEngine& engine, int m, int k, int p,
+                     const std::vector<std::int8_t>& w,
+                     const std::vector<std::uint8_t>& x, double min_seconds) {
+  std::vector<std::int32_t> y(static_cast<std::size_t>(m) * p);
+  Rng rng(11);
+  MacroRunStats stats;
+  MvmScratch scratch;
+  MvmSession session{&rng, &stats, &scratch};
+  engine.mvm_batch(w.data(), m, k, x.data(), p, y.data(), session);  // warm
+
+  Measurement out;
+  const auto start = Clock::now();
+  int iters = 0;
+  for (;;) {
+    engine.mvm_batch(w.data(), m, k, x.data(), p, y.data(), session);
+    ++iters;
+    out.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (out.seconds >= min_seconds && iters >= 3) break;
+  }
+  out.columns = static_cast<std::uint64_t>(iters) * p;
+  if (const PackedWeightsCache* cache = engine.packed_cache()) {
+    out.pack_ms = cache->total_pack_ms();
+    out.packed_bytes = cache->packed_bytes();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double min_seconds = 0.4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      min_seconds = std::atof(argv[i] + 10);
+    }
+  }
+
+  const Geometry geometries[] = {
+      {128, 8, 8},  // YOLO-scale: paper Table I operating point
+      {128, 4, 4},
+      {64, 8, 8},
+      {64, 4, 4},
+  };
+  const Variant variants[] = {
+      {"analog", MacroMvmEngine::Mode::kAnalog, false},
+      {"analog_noise_free", MacroMvmEngine::Mode::kAnalog, true},
+      {"exact_cost", MacroMvmEngine::Mode::kExactCost, false},
+  };
+  const int m = 128;  // output rows (YOLO-scale conv channel tile)
+  const int p = 16;   // im2col columns per engine call
+
+  for (const Geometry& geom : geometries) {
+    // k > rows exercises the multi-tile path on one of the sweeps.
+    const int k = geom.rows == 128 ? geom.rows : geom.rows * 2 + 10;
+    Rng init(3);
+    std::vector<std::int8_t> w(static_cast<std::size_t>(m) * k);
+    std::vector<std::uint8_t> x(static_cast<std::size_t>(k) * p);
+    for (auto& v : w) v = static_cast<std::int8_t>(init.uniform_int(-127, 127));
+    for (auto& v : x) v = static_cast<std::uint8_t>(init.uniform_int(0, 255));
+
+    for (const Variant& variant : variants) {
+      const MacroConfig cfg = make_config(geom, variant.noise_free);
+      const CimMacro macro(cfg);
+      PackedWeightsCache cache;
+      const MacroMvmEngine legacy(macro, variant.mode);
+      const MacroMvmEngine packed(macro, variant.mode, &cache);
+
+      // Refuse to time a kernel whose results changed.
+      {
+        std::vector<std::int32_t> ya(static_cast<std::size_t>(m) * p);
+        std::vector<std::int32_t> yb(static_cast<std::size_t>(m) * p);
+        Rng ra(7);
+        Rng rb(7);
+        MacroRunStats sa, sb;
+        MvmScratch sca, scb;
+        MvmSession sea{&ra, &sa, &sca}, seb{&rb, &sb, &scb};
+        legacy.mvm_batch(w.data(), m, k, x.data(), p, ya.data(), sea);
+        packed.mvm_batch(w.data(), m, k, x.data(), p, yb.data(), seb);
+        if (!bit_identical(ya, yb, sa, sb)) {
+          std::fprintf(stderr,
+                       "FATAL: packed path diverged from legacy at "
+                       "rows=%d ib=%d wb=%d variant=%s\n",
+                       geom.rows, geom.input_bits, geom.weight_bits,
+                       variant.name);
+          return 1;
+        }
+      }
+
+      const Measurement lm = run_path(legacy, m, k, p, w, x, min_seconds);
+      const Measurement pm = run_path(packed, m, k, p, w, x, min_seconds);
+      const double macs = static_cast<double>(m) * k;
+      const double legacy_ns_per_mac =
+          lm.seconds * 1e9 / (macs * static_cast<double>(lm.columns));
+      const double packed_ns_per_mac =
+          pm.seconds * 1e9 / (macs * static_cast<double>(pm.columns));
+      const double legacy_cols_s =
+          static_cast<double>(lm.columns) / lm.seconds;
+      const double packed_cols_s =
+          static_cast<double>(pm.columns) / pm.seconds;
+
+      std::printf(
+          "{\"bench\":\"macro_mvm\",\"path\":\"legacy\",\"variant\":\"%s\","
+          "\"rows\":%d,\"input_bits\":%d,\"weight_bits\":%d,\"m\":%d,"
+          "\"k\":%d,\"p\":%d,\"ns_per_mac\":%.4f,\"columns_per_s\":%.1f}\n",
+          variant.name, geom.rows, geom.input_bits, geom.weight_bits, m, k,
+          p, legacy_ns_per_mac, legacy_cols_s);
+      std::printf(
+          "{\"bench\":\"macro_mvm\",\"path\":\"packed\",\"variant\":\"%s\","
+          "\"rows\":%d,\"input_bits\":%d,\"weight_bits\":%d,\"m\":%d,"
+          "\"k\":%d,\"p\":%d,\"ns_per_mac\":%.4f,\"columns_per_s\":%.1f,"
+          "\"pack_ms\":%.4f,\"packed_bytes\":%zu,"
+          "\"speedup_vs_legacy\":%.2f}\n",
+          variant.name, geom.rows, geom.input_bits, geom.weight_bits, m, k,
+          p, packed_ns_per_mac, packed_cols_s, pm.pack_ms, pm.packed_bytes,
+          packed_cols_s / legacy_cols_s);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -69,6 +69,28 @@ class CimArrayModel {
   /// Charge digital accumulation energy for `ops` shift-adds.
   void charge_shift_adds(std::uint64_t ops, ArrayReadStats& stats) const;
 
+  /// Constants of the read_count() chain, hoisted for inlined fast
+  /// paths (CimMacro::mvm_packed). Derived HERE, next to read_count, so
+  /// a physics change to the chain cannot miss them — any drift between
+  /// the two is pinned by the packed-vs-legacy bit-identity suite
+  /// (`ctest -L macro`).
+  struct ReadChainConsts {
+    double sigma_cell = 0.0;     // bitline cell mismatch (1 sigma)
+    double noise_sigma_v = 0.0;  // ADC input-referred noise
+    double delta_v = 0.0;        // per-cell bitline discharge [V]
+    double v_precharge = 0.0;
+    double v_floor = 0.0;
+    double v_lo = 0.0;  // ADC full-scale low (post group matching)
+    double v_hi = 0.0;
+    double lsb = 0.0;
+    int levels = 0;
+    double counts_per_code = 0.0;
+    double adc_energy_pj = 0.0;
+    double cv = 0.0;        // c_bl_ff * v_precharge (legacy product order)
+    double bl_range = 0.0;  // v_precharge - v_floor
+  };
+  [[nodiscard]] ReadChainConsts read_chain_consts() const;
+
   [[nodiscard]] int group_size() const { return group_size_; }
   [[nodiscard]] double counts_per_code() const { return counts_per_code_; }
   [[nodiscard]] const Adc& adc() const { return adc_; }

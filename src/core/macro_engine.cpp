@@ -6,8 +6,9 @@
 
 namespace yoloc {
 
-MacroMvmEngine::MacroMvmEngine(const CimMacro& macro, Mode mode)
-    : macro_(&macro), mode_(mode) {}
+MacroMvmEngine::MacroMvmEngine(const CimMacro& macro, Mode mode,
+                               const PackedWeightsCache* packed_cache)
+    : macro_(&macro), mode_(mode), packed_cache_(packed_cache) {}
 
 std::string MacroMvmEngine::name() const {
   return mode_ == Mode::kAnalog ? "macro-analog" : "macro-exact-cost";
@@ -31,14 +32,48 @@ void MacroMvmEngine::mvm_batch(const std::int8_t* w, int m, int k,
   MvmScratch local_scratch;
   MvmScratch& scratch =
       session.scratch != nullptr ? *session.scratch : local_scratch;
-  std::vector<std::int8_t>& w_chunk = scratch.w_chunk;
   std::vector<std::uint8_t>& x_chunk = scratch.x_chunk;
   std::vector<std::int32_t>& y_partial = scratch.y_partial;
   x_chunk.resize(static_cast<std::size_t>(rows));
   y_partial.resize(static_cast<std::size_t>(m));
 
-  // Tile the reduction dimension over subarray row capacity; partial sums
+  if (packed_cache_ != nullptr) {
+    // Fast path: weight bit-planes were expanded once at deploy time (or
+    // on first touch); per column only the activation vector moves. The
+    // (k-tile, column) loop order matches the legacy path below so the
+    // analog RNG draw sequence is identical.
+    // Exact-cost mode never reads the bit-planes (it MACs the raw int8
+    // rows), so it requests the boundaries-only packing.
+    const PackedRomWeights& packed = packed_cache_->get_or_pack(
+        w, m, k, macro_->config().geometry,
+        /*pack_planes=*/mode_ != Mode::kExactCost);
+    for (int tile = 0; tile < packed.tile_count(); ++tile) {
+      const PackedRomWeights::Tile& t = packed.tile(tile);
+      for (int col = 0; col < p; ++col) {
+        for (int i = 0; i < t.k_size; ++i) {
+          x_chunk[static_cast<std::size_t>(i)] =
+              x[static_cast<std::size_t>(t.k0 + i) * p + col];
+        }
+        if (mode_ == Mode::kAnalog) {
+          macro_->mvm_packed(packed, tile, x_chunk.data(), y_partial.data(),
+                             *session.rng, stats);
+        } else {
+          macro_->mvm_packed_exact_cost(packed, tile, w, x_chunk.data(),
+                                        y_partial.data(), stats);
+        }
+        for (int j = 0; j < m; ++j) {
+          y[static_cast<std::size_t>(j) * p + col] +=
+              y_partial[static_cast<std::size_t>(j)];
+        }
+      }
+    }
+    return;
+  }
+
+  // Legacy path (also the packing-free baseline the macro bench times):
+  // tile the reduction dimension over subarray row capacity; partial sums
   // accumulate digitally (the shift-add backend).
+  std::vector<std::int8_t>& w_chunk = scratch.w_chunk;
   for (int k0 = 0; k0 < k; k0 += rows) {
     const int k_size = std::min(rows, k - k0);
     w_chunk.resize(static_cast<std::size_t>(m) * k_size);

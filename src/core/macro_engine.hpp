@@ -10,15 +10,26 @@
 // (b) measured compute energy per inference.
 //
 // The engine itself is immutable and reentrant: it holds only the macro
-// model and the mode. The noise RNG stream and the run statistics travel
-// in the caller's MvmSession, so any number of requests can execute
-// through one engine concurrently, each with its own session. Because a
-// session is REQUIRED (stats always, rng in analog mode), this engine
-// cannot be direct-bound to quantized layers the way the sessionless
-// ExactMvmEngine can — drive it through an ExecutionContext / MvmBinding
-// (src/runtime/), which wires a session per request.
+// model, the mode, and (optionally) a pointer to a PackedWeightsCache.
+// The noise RNG stream and the run statistics travel in the caller's
+// MvmSession, so any number of requests can execute through one engine
+// concurrently, each with its own session. Because a session is REQUIRED
+// (stats always, rng in analog mode), this engine cannot be direct-bound
+// to quantized layers the way the sessionless ExactMvmEngine can — drive
+// it through an ExecutionContext / MvmBinding (src/runtime/), which wires
+// a session per request.
+//
+// Fast path: when a cache is attached, mvm_batch resolves (or builds,
+// once) the PackedRomWeights for the layer's weight buffer and drives
+// CimMacro::mvm_packed / mvm_packed_exact_cost per (k-tile, column) —
+// bit-identical to the legacy per-call path, including the RNG draw
+// order, so deployments can switch it on without changing a single
+// output. Without a cache the engine behaves exactly as before the
+// packing existed (the pre-packing baseline the macro bench compares
+// against).
 
 #include "macro/cim_macro.hpp"
+#include "macro/packed_weights.hpp"
 #include "nn/quantize.hpp"
 
 namespace yoloc {
@@ -30,7 +41,11 @@ class MacroMvmEngine final : public MvmEngine {
     kExactCost,  // bit-exact math, modeled cost (cost-only studies)
   };
 
-  MacroMvmEngine(const CimMacro& macro, Mode mode);
+  /// `packed_cache`, when non-null, must outlive the engine and be
+  /// dedicated to this macro's geometry (a DeploymentPlan owns one per
+  /// engine). Null disables the packed fast path.
+  MacroMvmEngine(const CimMacro& macro, Mode mode,
+                 const PackedWeightsCache* packed_cache = nullptr);
 
   // Note: the base class's sessionless mvm_batch convenience is
   // deliberately NOT re-exposed — this engine requires a session, so the
@@ -43,10 +58,14 @@ class MacroMvmEngine final : public MvmEngine {
 
   [[nodiscard]] const CimMacro& macro() const { return *macro_; }
   [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] const PackedWeightsCache* packed_cache() const {
+    return packed_cache_;
+  }
 
  private:
   const CimMacro* macro_;
   Mode mode_;
+  const PackedWeightsCache* packed_cache_;
 };
 
 }  // namespace yoloc

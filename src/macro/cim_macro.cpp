@@ -1,35 +1,13 @@
 #include "macro/cim_macro.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 
 namespace yoloc {
-namespace {
-
-/// 128 rows fit two 64-bit lanes; mask type for row bitsets.
-struct RowMask {
-  std::uint64_t lane[2] = {0, 0};
-  void set(int i) { lane[i >> 6] |= (1ull << (i & 63)); }
-  [[nodiscard]] int count_and(const RowMask& other, int lo, int hi) const {
-    // Popcount of (this & other) over bit range [lo, hi).
-    int total = 0;
-    for (int l = 0; l < 2; ++l) {
-      const int base = l * 64;
-      const int a = std::max(lo - base, 0);
-      const int b = std::min(hi - base, 64);
-      if (a >= b) continue;
-      std::uint64_t m = lane[l] & other.lane[l];
-      if (a > 0) m &= ~0ull << a;
-      if (b < 64) m &= (b == 64) ? ~0ull : ((1ull << b) - 1);
-      total += std::popcount(m);
-    }
-    return total;
-  }
-};
-
-}  // namespace
 
 void MacroRunStats::accumulate(const MacroRunStats& other) {
   array.accumulate(other.array);
@@ -44,9 +22,42 @@ CimMacro::CimMacro(MacroConfig config)
              config_.geometry.rows_per_activation) {
   YOLOC_CHECK(config_.geometry.rows <= 128,
               "cim macro: row masks support up to 128 rows");
+  // The bit-serial paths index fixed RowMask xbits[8] / wbits[8] arrays;
+  // wider operands would silently corrupt the stack, so reject them here
+  // rather than relying on the (laxer) MacroConfig::validate bound.
+  YOLOC_CHECK(config_.geometry.input_bits >= 1 &&
+                  config_.geometry.input_bits <= 8,
+              "cim macro: input_bits out of [1, 8]");
+  YOLOC_CHECK(config_.geometry.weight_bits >= 1 &&
+                  config_.geometry.weight_bits <= 8,
+              "cim macro: weight_bits out of [1, 8]");
   YOLOC_CHECK(config_.geometry.rows % config_.geometry.rows_per_activation ==
                   0,
               "cim macro: rows must divide evenly into activation groups");
+
+  // Analog read chain constants for the packed path, derived by
+  // CimArrayModel next to the canonical read_count(); sqrt_count_
+  // pre-tabulates sqrt of the integer ON-cell count.
+  read_ = array_.read_chain_consts();
+  for (int c = 0; c <= 128; ++c) {
+    sqrt_count_[static_cast<std::size_t>(c)] =
+        std::sqrt(static_cast<double>(c));
+  }
+
+  // Noise-free transfer tables: with both noise sources at zero every
+  // draw in read_count is scaled by 0.0, so the estimate collapses to a
+  // pure function of the exact count. Tabulating it through the real
+  // bitline/ADC models keeps the table bit-identical to the legacy path.
+  noise_free_ = read_.sigma_cell == 0.0 && read_.noise_sigma_v == 0.0;
+  for (int c = 0; c <= 128; ++c) {
+    const double v =
+        array_.bitline().voltage_for_count(static_cast<double>(c));
+    const int code = array_.adc().quantize_ideal(v);
+    ideal_estimate_[static_cast<std::size_t>(c)] =
+        code * read_.counts_per_code;
+    ideal_precharge_pj_[static_cast<std::size_t>(c)] =
+        array_.bitline().precharge_energy_pj(static_cast<double>(c));
+  }
 }
 
 double CimMacro::single_pass_latency_ns() const {
@@ -56,8 +67,6 @@ double CimMacro::single_pass_latency_ns() const {
 void CimMacro::charge_op_costs(int m, int k, const std::uint8_t* x,
                                MacroRunStats& stats) const {
   const auto& g = config_.geometry;
-  const int groups = (k + g.rows_per_activation - 1) / g.rows_per_activation;
-
   // Wordline pulses: one per active row per input cycle with bit set; the
   // pulse is shared by every column of the subarray, so it is charged
   // once per row-cycle (not per output).
@@ -67,6 +76,14 @@ void CimMacro::charge_op_costs(int m, int k, const std::uint8_t* x,
       if ((x[i] >> t) & 1u) ++pulses;
     }
   }
+  charge_op_costs(m, k, pulses, stats);
+}
+
+void CimMacro::charge_op_costs(int m, int k, std::uint64_t pulses,
+                               MacroRunStats& stats) const {
+  const auto& g = config_.geometry;
+  const int groups = (k + g.rows_per_activation - 1) / g.rows_per_activation;
+
   array_.charge_wl_pulses(pulses, stats.array);
 
   // Shift-add: one digital accumulation per ADC conversion result.
@@ -156,6 +173,191 @@ void CimMacro::mvm_exact_cost(const std::int8_t* w, int m, int k,
       static_cast<double>(conversions) *
       array_.bitline().precharge_energy_pj(0.25 * g.rows_per_activation);
   charge_op_costs(m, k, x, stats);
+}
+
+void CimMacro::check_packed_tile(const PackedRomWeights& packed,
+                                 int tile_index) const {
+  const auto& g = config_.geometry;
+  YOLOC_CHECK(packed.rows() == g.rows &&
+                  packed.weight_bits() == g.weight_bits &&
+                  packed.input_bits() == g.input_bits &&
+                  packed.rows_per_activation() == g.rows_per_activation,
+              "cim macro: packed weights built for a different geometry");
+  YOLOC_CHECK(tile_index >= 0 && tile_index < packed.tile_count(),
+              "cim macro: packed tile index out of range");
+}
+
+void CimMacro::mvm_packed(const PackedRomWeights& packed, int tile_index,
+                          const std::uint8_t* x, std::int32_t* y, Rng& rng,
+                          MacroRunStats& stats) const {
+  check_packed_tile(packed, tile_index);
+  YOLOC_CHECK(packed.has_planes(),
+              "cim macro: analog packed path needs weight bit-planes "
+              "(packing was built boundaries-only for exact-cost)");
+  const PackedRomWeights::Tile& tile = packed.tile(tile_index);
+  const int m = packed.m();
+  const int k = tile.k_size;
+  const int groups = tile.groups;
+  const int weight_bits = packed.weight_bits();
+  const int input_bits = packed.input_bits();
+
+  // Activation bit-planes: ONE scan of x builds both the planes and the
+  // wordline pulse count (the legacy path scans x a second time inside
+  // charge_op_costs).
+  RowMask xbits[8];
+  for (int i = 0; i < k; ++i) {
+    const unsigned v = x[i];
+    const int lane = i >> 6;
+    const int shift = i & 63;
+    for (int t = 0; t < input_bits; ++t) {
+      xbits[t].lane[lane] |= static_cast<std::uint64_t>((v >> t) & 1u)
+                             << shift;
+    }
+  }
+  std::uint64_t pulses = 0;
+  for (int t = 0; t < input_bits; ++t) {
+    pulses += static_cast<std::uint64_t>(xbits[t].count());
+  }
+
+  const double* bcw = packed.bit_cycle_weight();
+  const RowMask* gmasks = tile.group_masks.data();
+  const CimArrayModel::ReadChainConsts& rc = read_;
+
+  // Energy accumulators chained from the current stats values so the
+  // add sequence (and therefore the floating-point rounding) is
+  // identical to the legacy per-read += updates.
+  std::uint64_t conversions = stats.array.adc_conversions;
+  double adc_energy = stats.array.adc_energy_pj;
+  double precharge_energy = stats.array.precharge_energy_pj;
+
+  if (noise_free_) {
+    // Draw-free fast path: every noise term is scaled by 0.0 in the
+    // legacy chain, so the ADC estimate is a pure table lookup on the
+    // exact count. (The session RNG is intentionally not advanced.)
+    for (int j = 0; j < m; ++j) {
+      const RowMask* wrow =
+          tile.wbits.data() + static_cast<std::size_t>(j) * weight_bits;
+      double acc = 0.0;
+      for (int b = 0; b < weight_bits; ++b) {
+        const RowMask wb = wrow[b];
+        for (int t = 0; t < input_bits; ++t) {
+          const RowMask xt = xbits[t];
+          const double cycle_weight =
+              bcw[static_cast<std::size_t>(b) * input_bits + t];
+          for (int grp = 0; grp < groups; ++grp) {
+            const int exact = wb.count_and3(xt, gmasks[grp]);
+            acc += ideal_estimate_[static_cast<std::size_t>(exact)] *
+                   cycle_weight;
+            ++conversions;
+            adc_energy += rc.adc_energy_pj;
+            precharge_energy +=
+                ideal_precharge_pj_[static_cast<std::size_t>(exact)];
+          }
+        }
+      }
+      y[j] = static_cast<std::int32_t>(std::llround(acc));
+    }
+  } else {
+    for (int j = 0; j < m; ++j) {
+      const RowMask* wrow =
+          tile.wbits.data() + static_cast<std::size_t>(j) * weight_bits;
+      double acc = 0.0;
+      for (int b = 0; b < weight_bits; ++b) {
+        const RowMask wb = wrow[b];
+        for (int t = 0; t < input_bits; ++t) {
+          const RowMask xt = xbits[t];
+          const double cycle_weight =
+              bcw[static_cast<std::size_t>(b) * input_bits + t];
+          for (int grp = 0; grp < groups; ++grp) {
+            const int exact = wb.count_and3(xt, gmasks[grp]);
+            // Inlined CimArrayModel::read_count — identical operations
+            // in identical order, same RNG draws.
+            double effective = exact;
+            if (rc.sigma_cell > 0.0 && exact > 0) {
+              effective += rng.normal(
+                  0.0, rc.sigma_cell *
+                           sqrt_count_[static_cast<std::size_t>(exact)]);
+              if (effective < 0.0) effective = 0.0;
+            }
+            const double v =
+                std::max(rc.v_precharge - effective * rc.delta_v, rc.v_floor);
+            const double noisy = v + rng.normal(0.0, rc.noise_sigma_v);
+            const double clamped = std::clamp(noisy, rc.v_lo, rc.v_hi);
+            int code =
+                static_cast<int>(std::lround((rc.v_hi - clamped) / rc.lsb));
+            code = std::clamp(code, 0, rc.levels - 1);
+            acc += (code * rc.counts_per_code) * cycle_weight;
+            ++conversions;
+            adc_energy += rc.adc_energy_pj;
+            const double dv =
+                std::min(effective * rc.delta_v, rc.bl_range);
+            precharge_energy += rc.cv * dv * 1e-3;
+          }
+        }
+      }
+      y[j] = static_cast<std::int32_t>(std::llround(acc));
+    }
+  }
+
+  stats.array.adc_conversions = conversions;
+  stats.array.adc_energy_pj = adc_energy;
+  stats.array.precharge_energy_pj = precharge_energy;
+  charge_op_costs(m, k, pulses, stats);
+}
+
+void CimMacro::mvm_packed_exact_cost(const PackedRomWeights& packed,
+                                     int tile_index, const std::int8_t* w,
+                                     const std::uint8_t* x, std::int32_t* y,
+                                     MacroRunStats& stats) const {
+  check_packed_tile(packed, tile_index);
+  const auto& g = config_.geometry;
+  const PackedRomWeights::Tile& tile = packed.tile(tile_index);
+  const int m = packed.m();
+  const int k = tile.k_size;
+  const int full_k = packed.k();
+
+  // The exact product stays a plain integer MAC over the raw weight rows
+  // (the compiler vectorizes it far better than a bit-plane
+  // reconstruction) — the fast-path win here is skipping the per-call
+  // weight chunk copy and replacing charge_op_costs' branchy second scan
+  // of x with a byte-popcount over the input_bits window.
+  for (int j = 0; j < m; ++j) {
+    const std::int8_t* wrow =
+        w + static_cast<std::size_t>(j) * full_k + tile.k0;
+    std::int64_t acc = 0;
+    for (int i = 0; i < k; ++i) {
+      acc += static_cast<std::int64_t>(wrow[i]) * x[i];
+    }
+    y[j] = static_cast<std::int32_t>(acc);
+  }
+
+  // Wordline pulses = set bits of x inside the input_bits window. A
+  // byte-replicated window mask turns this into 8-bytes-per-popcount:
+  // sum_i popcount(x[i] & win) == sum_words popcount(word & win*0x0101..).
+  const std::uint64_t pulse_window =
+      ((1ull << g.input_bits) - 1ull) * 0x0101010101010101ull;
+  std::uint64_t pulses = 0;
+  int i = 0;
+  for (; i + 8 <= k; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, x + i, sizeof(word));
+    pulses += static_cast<unsigned>(std::popcount(word & pulse_window));
+  }
+  for (; i < k; ++i) {
+    pulses += static_cast<unsigned>(
+        std::popcount(x[i] & static_cast<unsigned>(pulse_window & 0xFFu)));
+  }
+
+  const int groups = tile.groups;
+  const std::uint64_t conversions =
+      static_cast<std::uint64_t>(m) * g.weight_bits * g.input_bits * groups;
+  stats.array.adc_conversions += conversions;
+  stats.array.adc_energy_pj +=
+      static_cast<double>(conversions) * config_.adc.energy_pj;
+  stats.array.precharge_energy_pj +=
+      static_cast<double>(conversions) *
+      array_.bitline().precharge_energy_pj(0.25 * g.rows_per_activation);
+  charge_op_costs(m, k, pulses, stats);
 }
 
 }  // namespace yoloc

@@ -16,11 +16,27 @@
 // The same engine drives both macro kinds; the MacroConfig supplies the
 // analog parameters (ROM: low mismatch; SRAM: higher mismatch, heavier
 // wordlines) and the cost constants.
+//
+// Two functional paths exist per mode:
+//   * mvm / mvm_exact_cost: the legacy per-call path that derives weight
+//     bit-planes from the raw int8 buffer on every call.
+//   * mvm_packed / mvm_packed_exact_cost: the deploy-time fast path over
+//     a PackedRomWeights tile. Bit-identical to the legacy path — same
+//     outputs, same stats, and (in analog mode) the same RNG draw order
+//     (j, b, t, grp) — just without re-deriving what ROM weights cannot
+//     change. When the config is noise-free (sigma_cell == 0 AND
+//     adc.noise_sigma_v == 0) the packed analog path additionally skips
+//     the zero-scaled noise draws and reads the ADC transfer from a
+//     precomputed count -> estimate table; outputs and stats stay
+//     bit-identical (every skipped draw was multiplied by 0), but the
+//     session RNG is no longer advanced by such calls.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "macro/macro_config.hpp"
+#include "macro/packed_weights.hpp"
 
 namespace yoloc {
 
@@ -50,20 +66,62 @@ class CimMacro {
                       const std::uint8_t* x, std::int32_t* y,
                       MacroRunStats& stats) const;
 
+  /// Analog fast path over one packed tile: bit-identical to mvm() on
+  /// the same tile (same y, same stats, same RNG draw order). `x` holds
+  /// the tile's k_size activation entries; `y` receives m partial sums.
+  /// `packed` must have been built against this macro's geometry.
+  void mvm_packed(const PackedRomWeights& packed, int tile_index,
+                  const std::uint8_t* x, std::int32_t* y, Rng& rng,
+                  MacroRunStats& stats) const;
+
+  /// Exact-cost fast path over one packed tile: bit-identical to
+  /// mvm_exact_cost() on the same tile. `w` is the FULL (m x k) weight
+  /// matrix the packing was built from (the integer MAC reads the raw
+  /// rows in place — no per-call chunk copy); `packed` supplies the tile
+  /// boundaries and cost geometry. No RNG is consumed (the legacy exact
+  /// path draws none either).
+  void mvm_packed_exact_cost(const PackedRomWeights& packed, int tile_index,
+                             const std::int8_t* w, const std::uint8_t* x,
+                             std::int32_t* y, MacroRunStats& stats) const;
+
   [[nodiscard]] const MacroConfig& config() const { return config_; }
   [[nodiscard]] const CimArrayModel& array_model() const { return array_; }
+
+  /// True when the analog chain draws no noise (sigma_cell == 0 and ADC
+  /// noise_sigma_v == 0): the packed path then runs draw-free.
+  [[nodiscard]] bool noise_free() const { return noise_free_; }
 
   /// Latency of a single full bit-serial pass (Table I "inference time"):
   /// input_bits serial cycles at the macro clock.
   [[nodiscard]] double single_pass_latency_ns() const;
 
  private:
-  /// Shared bookkeeping for both mvm variants.
+  /// Shared bookkeeping for both mvm variants (scans x for pulses).
   void charge_op_costs(int m, int k, const std::uint8_t* x,
                        MacroRunStats& stats) const;
+  /// Same bookkeeping with the wordline pulse count already known (the
+  /// packed path derives it from the activation bit-plane popcounts
+  /// instead of a second scan of x).
+  void charge_op_costs(int m, int k, std::uint64_t pulses,
+                       MacroRunStats& stats) const;
+
+  void check_packed_tile(const PackedRomWeights& packed,
+                         int tile_index) const;
 
   MacroConfig config_;
   CimArrayModel array_;
+
+  // Analog read chain constants, derived by CimArrayModel (next to the
+  // canonical read_count they mirror) and cached here for the inlined
+  // packed read path; sqrt of the integer ON-cell count is
+  // pre-tabulated (<= 128 rows).
+  CimArrayModel::ReadChainConsts read_;
+  std::array<double, 129> sqrt_count_{};
+  bool noise_free_ = false;
+  // Noise-free transfer tables indexed by exact count (<= 128 rows):
+  // code * counts_per_code and the matching precharge energy.
+  std::array<double, 129> ideal_estimate_{};
+  std::array<double, 129> ideal_precharge_pj_{};
 };
 
 }  // namespace yoloc

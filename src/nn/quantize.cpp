@@ -1,5 +1,6 @@
 #include "nn/quantize.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -69,15 +70,40 @@ const MvmBinding* MvmBinding::current() { return t_binding; }
 void ExactMvmEngine::mvm_batch(const std::int8_t* w, int m, int k,
                                const std::uint8_t* x, int p, std::int32_t* y,
                                MvmSession& /*session*/) const {
-  parallel_for(static_cast<std::size_t>(m), [&](std::size_t mi) {
-    const std::int8_t* wrow = w + mi * static_cast<std::size_t>(k);
-    std::int32_t* yrow = y + mi * static_cast<std::size_t>(p);
-    for (int j = 0; j < p; ++j) yrow[j] = 0;
-    for (int kk = 0; kk < k; ++kk) {
-      const std::int32_t wv = wrow[kk];
-      if (wv == 0) continue;
-      const std::uint8_t* xrow = x + static_cast<std::size_t>(kk) * p;
-      for (int j = 0; j < p; ++j) yrow[j] += wv * xrow[j];
+  // Cache-blocked (m, k, p) walk. The old row-at-a-time loop streamed the
+  // whole k x p activation matrix once per output row — for the large p
+  // of early conv layers that is m full passes over an L2-busting
+  // matrix. Blocking p and k and reusing each x tile across a small row
+  // block keeps the tile resident while it is hot; integer accumulation
+  // is exact, so the result is unchanged by the reordering.
+  constexpr int kRowBlock = 8;    // output rows sharing one x tile
+  constexpr int kKBlock = 256;    // reduction rows per tile
+  constexpr int kPBlock = 512;    // columns per tile (x tile <= 128 KiB)
+  const std::size_t row_blocks =
+      (static_cast<std::size_t>(m) + kRowBlock - 1) / kRowBlock;
+  const std::size_t p_blocks =
+      (static_cast<std::size_t>(p) + kPBlock - 1) / kPBlock;
+  parallel_for(row_blocks * p_blocks, [&](std::size_t task) {
+    const int j0 = static_cast<int>(task / p_blocks) * kRowBlock;
+    const int j1 = std::min(m, j0 + kRowBlock);
+    const int p0 = static_cast<int>(task % p_blocks) * kPBlock;
+    const int p1 = std::min(p, p0 + kPBlock);
+    for (int j = j0; j < j1; ++j) {
+      std::int32_t* yrow = y + static_cast<std::size_t>(j) * p;
+      for (int col = p0; col < p1; ++col) yrow[col] = 0;
+    }
+    for (int k0 = 0; k0 < k; k0 += kKBlock) {
+      const int k1 = std::min(k, k0 + kKBlock);
+      for (int j = j0; j < j1; ++j) {
+        const std::int8_t* wrow = w + static_cast<std::size_t>(j) * k;
+        std::int32_t* yrow = y + static_cast<std::size_t>(j) * p;
+        for (int kk = k0; kk < k1; ++kk) {
+          const std::int32_t wv = wrow[kk];
+          if (wv == 0) continue;
+          const std::uint8_t* xrow = x + static_cast<std::size_t>(kk) * p;
+          for (int col = p0; col < p1; ++col) yrow[col] += wv * xrow[col];
+        }
+      }
     }
   });
 }
@@ -197,17 +223,23 @@ Tensor QuantConv2d::forward(const Tensor& input, bool /*train*/) {
                        scratch->qx.data(), p, scratch->acc.data(),
                        re.session);
 
+  // Fused dequantize-rescale + bias epilogue: one sequential write pass
+  // over the output in memory order, source rows resolved by pointer
+  // stride instead of per-element index math.
   const float rescale = qweight_.scale * act_scale_;
+  const std::int32_t* acc = scratch->acc.data();
+  const float* bias = bias_.data();
+  float* dst = out.data();
   for (int ni = 0; ni < n; ++ni) {
+    const std::size_t image_off = static_cast<std::size_t>(ni) * spatial;
     for (int c = 0; c < out_channels_; ++c) {
-      const std::int32_t* src = scratch->acc.data() +
-                                static_cast<std::size_t>(c) * p +
-                                static_cast<std::size_t>(ni) * spatial;
-      float* dst = out.data() + out.index4(ni, c, 0, 0);
-      const float b = bias_[static_cast<std::size_t>(c)];
+      const std::int32_t* src =
+          acc + static_cast<std::size_t>(c) * p + image_off;
+      const float b = bias[static_cast<std::size_t>(c)];
       for (int s = 0; s < spatial; ++s) {
         dst[s] = rescale * static_cast<float>(src[s]) + b;
       }
+      dst += spatial;
     }
   }
   return out;
@@ -301,13 +333,18 @@ Tensor QuantLinear::forward(const Tensor& input, bool /*train*/) {
   re.engine->mvm_batch(qweight_.data.data(), out_features_, in_features_,
                        scratch->qx.data(), batch, scratch->acc.data(),
                        re.session);
+  // Fused rescale + bias epilogue over the (out x batch) accumulator:
+  // raw-pointer transpose-write instead of per-element at2 index math.
   const float rescale = qweight_.scale * act_scale_;
+  const std::int32_t* acc = scratch->acc.data();
+  const float* bias = bias_.data();
+  float* dst = out.data();  // (batch x out) row-major
   for (int o = 0; o < out_features_; ++o) {
-    for (int b = 0; b < batch; ++b) {
-      out.at2(b, o) =
-          rescale * static_cast<float>(
-                        scratch->acc[static_cast<std::size_t>(o) * batch + b]) +
-          bias_[static_cast<std::size_t>(o)];
+    const std::int32_t* src = acc + static_cast<std::size_t>(o) * batch;
+    const float b = bias[static_cast<std::size_t>(o)];
+    for (int bi = 0; bi < batch; ++bi) {
+      dst[static_cast<std::size_t>(bi) * out_features_ + o] =
+          rescale * static_cast<float>(src[bi]) + b;
     }
   }
   return out;
@@ -402,6 +439,11 @@ void for_each_quant_layer(Layer& layer, Fn&& fn) {
 }  // namespace
 
 int fold_batchnorm(Layer& root) { return fold_batchnorm_rec(root); }
+
+void for_each_quantized_layer(
+    Layer& root, const std::function<void(QuantConv2d*, QuantLinear*)>& fn) {
+  for_each_quant_layer(root, fn);
+}
 
 int quantize_network(Layer& root, const MvmEngine& engine, int weight_bits,
                      int act_bits) {

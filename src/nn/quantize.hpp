@@ -31,6 +31,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -261,6 +262,13 @@ int quantize_network(Layer& root, const MvmEngine& engine, int weight_bits = 8,
 /// Run `images` through the network in calibration mode, then finalize
 /// all activation scales.
 void calibrate_quantized(Layer& root, const Tensor& images);
+
+/// Invoke `fn` for every QuantConv2d / QuantLinear reachable from root
+/// (root included); exactly one of the two pointers is non-null per
+/// call. Used by the deployment runtime to walk lowered graphs (e.g. to
+/// pre-pack every layer's ROM weight bit-planes at deploy time).
+void for_each_quantized_layer(
+    Layer& root, const std::function<void(QuantConv2d*, QuantLinear*)>& fn);
 
 /// Number of QuantConv2d / QuantLinear layers reachable from root
 /// (root included). Used by the deployment-plan loader as an integrity

@@ -8,11 +8,14 @@
 //      ones for the SRAM-CiM macro model,
 //   3. activation-range calibration (pure float math, engine-free).
 // It owns everything requests share: the lowered network, both CiM macro
-// models, and the two reentrant MvmEngines. It owns NO mutable per-request
-// state — noise RNG streams, run statistics and scratch buffers live in
-// ExecutionContext — so any number of contexts can execute one plan
-// concurrently (the throughput model of mixed ROM+SRAM chips such as YOCO
-// and multi-core PCM inference parts, scaled to host threads).
+// models, the two reentrant MvmEngines, and the packed weight bit-planes
+// (one PackedWeightsCache per engine, populated for every quantized
+// layer at construction — the software analogue of committing the ROM
+// mask at tape-out). It owns NO mutable per-request state — noise RNG
+// streams, run statistics and scratch buffers live in ExecutionContext —
+// so any number of contexts can execute one plan concurrently (the
+// throughput model of mixed ROM+SRAM chips such as YOCO and multi-core
+// PCM inference parts, scaled to host threads).
 
 #include <cstdint>
 #include <memory>
@@ -84,6 +87,18 @@ class DeploymentPlan {
   }
   [[nodiscard]] const CimMacro& rom_macro() const { return rom_macro_; }
   [[nodiscard]] const CimMacro& sram_macro() const { return sram_macro_; }
+  [[nodiscard]] const PackedWeightsCache& rom_packed() const {
+    return rom_packed_;
+  }
+  [[nodiscard]] const PackedWeightsCache& sram_packed() const {
+    return sram_packed_;
+  }
+  /// Total resident bytes of packed weight bit-planes (both engines) and
+  /// the one-time cost of building them — deploy-time observability for
+  /// capacity planning (the packing is derived state: it is rebuilt at
+  /// load, never serialized).
+  [[nodiscard]] std::size_t packed_weight_bytes() const;
+  [[nodiscard]] double pack_ms() const { return pack_ms_; }
   [[nodiscard]] const DeploymentOptions& options() const { return options_; }
   [[nodiscard]] int quantized_layer_count() const { return quantized_layers_; }
   /// Structural access for the OWNING path (inspection / tests) —
@@ -95,14 +110,20 @@ class DeploymentPlan {
  private:
   /// Recursive conv/linear replacement with per-layer engine selection.
   int lower_network(Layer& node);
+  /// Expand every quantized layer's weight buffer into its macro-native
+  /// bit-plane layout (once; shared read-only by all contexts).
+  void prepack_weights();
 
   DeploymentOptions options_;
   CimMacro rom_macro_;
   CimMacro sram_macro_;
+  PackedWeightsCache rom_packed_;
+  PackedWeightsCache sram_packed_;
   MacroMvmEngine rom_engine_;
   MacroMvmEngine sram_engine_;
   LayerPtr model_;
   int quantized_layers_ = 0;
+  double pack_ms_ = 0.0;
 };
 
 }  // namespace yoloc

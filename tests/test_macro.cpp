@@ -156,6 +156,34 @@ TEST(CimMacro, RejectsOversizedReduction) {
                std::runtime_error);
 }
 
+TEST(CimMacro, RejectsOperandWidthsBeyondRowMaskPlanes) {
+  // The bit-serial paths index fixed RowMask xbits[8] / wbits[8] arrays;
+  // wider operands must be rejected at construction, not corrupt the
+  // stack at run time. (MacroConfig::validate alone allows up to 16.)
+  MacroConfig cfg = quiet_rom();
+  cfg.geometry.input_bits = 9;
+  EXPECT_THROW(CimMacro{cfg}, std::runtime_error);
+
+  cfg = quiet_rom();
+  cfg.geometry.weight_bits = 9;
+  cfg.geometry.cols = 9 * 32;  // keep cols divisible by weight_bits
+  EXPECT_THROW(CimMacro{cfg}, std::runtime_error);
+
+  cfg = quiet_rom();
+  cfg.geometry.input_bits = 0;
+  EXPECT_THROW(CimMacro{cfg}, std::runtime_error);
+
+  cfg = quiet_rom();
+  cfg.geometry.weight_bits = 0;
+  EXPECT_THROW(CimMacro{cfg}, std::runtime_error);
+
+  // The boundary value stays accepted.
+  cfg = quiet_rom();
+  cfg.geometry.input_bits = 8;
+  cfg.geometry.weight_bits = 8;
+  EXPECT_NO_THROW(CimMacro{cfg});
+}
+
 TEST(MacroConfig, RomDensityMatchesTableI) {
   const MacroConfig rom = default_rom_macro();
   // Table I: ~1.2 Mb, ~0.24 mm^2, ~5 Mb/mm^2.

@@ -1,0 +1,272 @@
+// Packed-weights fast path coverage: the deploy-time bit-plane packing
+// (macro/packed_weights.*) and the packed CimMacro/MacroMvmEngine MVM
+// must be BIT-IDENTICAL to the legacy per-call path — same outputs, same
+// energy/latency stats, same RNG draw order — across analog (noisy and
+// noise-free), exact-cost, odd reduction sizes and multi-tile shapes.
+// `ctest -L macro` selects this suite.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/macro_engine.hpp"
+
+namespace yoloc {
+namespace {
+
+MacroConfig noise_free_rom() {
+  MacroConfig cfg = default_rom_macro();
+  cfg.bitline.sigma_cell = 0.0;
+  cfg.adc.noise_sigma_v = 0.0;
+  return cfg;
+}
+
+std::vector<std::int8_t> random_weights(int m, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int8_t> w(static_cast<std::size_t>(m) * k);
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  return w;
+}
+
+std::vector<std::uint8_t> random_acts(int k, int p, std::uint64_t seed) {
+  Rng rng(seed ^ 0x1234);
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(k) * p);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return x;
+}
+
+void expect_stats_identical(const MacroRunStats& a, const MacroRunStats& b) {
+  EXPECT_EQ(a.array.adc_conversions, b.array.adc_conversions);
+  EXPECT_EQ(a.array.wl_pulses, b.array.wl_pulses);
+  EXPECT_EQ(a.array.shift_adds, b.array.shift_adds);
+  // Energy/latency sums must match to the last bit (same values, same
+  // accumulation order).
+  EXPECT_EQ(a.array.adc_energy_pj, b.array.adc_energy_pj);
+  EXPECT_EQ(a.array.precharge_energy_pj, b.array.precharge_energy_pj);
+  EXPECT_EQ(a.array.wl_energy_pj, b.array.wl_energy_pj);
+  EXPECT_EQ(a.array.shift_add_energy_pj, b.array.shift_add_energy_pj);
+  EXPECT_EQ(a.macro_ops, b.macro_ops);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.latency_ns, b.latency_ns);
+}
+
+/// Drives both engine paths with identically seeded sessions and checks
+/// outputs + stats match exactly.
+void expect_paths_identical(const MacroConfig& cfg,
+                            MacroMvmEngine::Mode mode, int m, int k, int p,
+                            std::uint64_t seed) {
+  const CimMacro macro(cfg);
+  PackedWeightsCache cache;
+  const MacroMvmEngine legacy(macro, mode);
+  const MacroMvmEngine packed(macro, mode, &cache);
+  const auto w = random_weights(m, k, seed);
+  const auto x = random_acts(k, p, seed);
+
+  std::vector<std::int32_t> y_legacy(static_cast<std::size_t>(m) * p);
+  std::vector<std::int32_t> y_packed(static_cast<std::size_t>(m) * p);
+  Rng rng_legacy(seed);
+  Rng rng_packed(seed);
+  MacroRunStats stats_legacy, stats_packed;
+  MvmScratch scratch_legacy, scratch_packed;
+  MvmSession legacy_session{&rng_legacy, &stats_legacy, &scratch_legacy};
+  MvmSession packed_session{&rng_packed, &stats_packed, &scratch_packed};
+
+  // Two back-to-back calls so the second starts from mid-stream RNG
+  // state and non-zero stats (the accumulation-order contract).
+  for (int call = 0; call < 2; ++call) {
+    legacy.mvm_batch(w.data(), m, k, x.data(), p, y_legacy.data(),
+                     legacy_session);
+    packed.mvm_batch(w.data(), m, k, x.data(), p, y_packed.data(),
+                     packed_session);
+    EXPECT_EQ(y_legacy, y_packed) << "call " << call;
+    expect_stats_identical(stats_legacy, stats_packed);
+  }
+}
+
+TEST(PackedRomWeights, MasksMatchNaiveDerivation) {
+  const MacroGeometry g = default_rom_macro().geometry;
+  const int m = 3;
+  const int k = 100;  // odd: not a multiple of rows_per_activation (32)
+  const auto w = random_weights(m, k, 42);
+  const PackedRomWeights packed(w.data(), m, k, g);
+
+  ASSERT_EQ(packed.tile_count(), 1);
+  const auto& tile = packed.tile(0);
+  EXPECT_EQ(tile.k0, 0);
+  EXPECT_EQ(tile.k_size, k);
+  EXPECT_EQ(tile.groups, 4);  // ceil(100 / 32)
+
+  // Group masks partition [0, k) along rows_per_activation boundaries.
+  int covered = 0;
+  for (int grp = 0; grp < tile.groups; ++grp) {
+    covered += tile.group_masks[static_cast<std::size_t>(grp)].count();
+  }
+  EXPECT_EQ(covered, k);
+  EXPECT_EQ(tile.group_masks[3].count(), 4);  // 100 - 3*32
+
+  // Every weight bit is where the naive derivation puts it.
+  for (int j = 0; j < m; ++j) {
+    for (int b = 0; b < g.weight_bits; ++b) {
+      const RowMask& plane =
+          tile.wbits[static_cast<std::size_t>(j) * g.weight_bits + b];
+      for (int i = 0; i < k; ++i) {
+        const unsigned wv = static_cast<std::uint8_t>(
+            w[static_cast<std::size_t>(j) * k + i]);
+        const bool expected = ((wv >> b) & 1u) != 0;
+        const bool actual =
+            ((plane.lane[i >> 6] >> (i & 63)) & 1ull) != 0;
+        EXPECT_EQ(actual, expected) << "j=" << j << " b=" << b << " i=" << i;
+      }
+    }
+  }
+
+  // Shift-add table: MSB plane carries the negative two's-complement
+  // factor, scaled by 2^t per input cycle.
+  const double* bcw = packed.bit_cycle_weight();
+  EXPECT_EQ(bcw[0], 1.0);                                 // b=0, t=0
+  EXPECT_EQ(bcw[1], 2.0);                                 // b=0, t=1
+  EXPECT_EQ(bcw[7 * g.input_bits + 0], -128.0);           // b=7, t=0
+  EXPECT_EQ(bcw[7 * g.input_bits + 7], -128.0 * 128.0);   // b=7, t=7
+  EXPECT_GT(packed.packed_bytes(), 0u);
+  EXPECT_GE(packed.pack_ms(), 0.0);
+}
+
+TEST(PackedRomWeights, TilesMirrorEngineRowTiling) {
+  const MacroGeometry g = default_rom_macro().geometry;
+  const int m = 2;
+  const int k = 300;  // 128 + 128 + 44
+  const auto w = random_weights(m, k, 43);
+  const PackedRomWeights packed(w.data(), m, k, g);
+  ASSERT_EQ(packed.tile_count(), 3);
+  EXPECT_EQ(packed.tile(0).k_size, 128);
+  EXPECT_EQ(packed.tile(1).k0, 128);
+  EXPECT_EQ(packed.tile(2).k0, 256);
+  EXPECT_EQ(packed.tile(2).k_size, 44);
+  EXPECT_EQ(packed.tile(2).groups, 2);  // 32 + 12
+}
+
+TEST(PackedRomWeights, RejectsUnsupportedGeometry) {
+  MacroGeometry g = default_rom_macro().geometry;
+  const auto w = random_weights(1, 8, 44);
+  g.weight_bits = 9;
+  EXPECT_THROW(PackedRomWeights(w.data(), 1, 8, g), std::runtime_error);
+  g = default_rom_macro().geometry;
+  g.input_bits = 9;
+  EXPECT_THROW(PackedRomWeights(w.data(), 1, 8, g), std::runtime_error);
+  g = default_rom_macro().geometry;
+  g.rows = 129;
+  EXPECT_THROW(PackedRomWeights(w.data(), 1, 8, g), std::runtime_error);
+}
+
+TEST(PackedRomWeights, BoundariesOnlyPackingForExactCost) {
+  const MacroGeometry g = default_rom_macro().geometry;
+  const int m = 4;
+  const int k = 150;
+  const auto w = random_weights(m, k, 46);
+  const PackedRomWeights planes(w.data(), m, k, g, /*pack_planes=*/true);
+  const PackedRomWeights bounds(w.data(), m, k, g, /*pack_planes=*/false);
+  EXPECT_TRUE(planes.has_planes());
+  EXPECT_FALSE(bounds.has_planes());
+  ASSERT_EQ(bounds.tile_count(), planes.tile_count());
+  for (int t = 0; t < bounds.tile_count(); ++t) {
+    EXPECT_TRUE(bounds.tile(t).wbits.empty());
+    EXPECT_EQ(bounds.tile(t).k0, planes.tile(t).k0);
+    EXPECT_EQ(bounds.tile(t).groups, planes.tile(t).groups);
+    EXPECT_FALSE(bounds.tile(t).group_masks.empty());
+  }
+  EXPECT_LT(bounds.packed_bytes(), planes.packed_bytes());
+
+  // The analog path refuses a boundaries-only packing.
+  const CimMacro macro(default_rom_macro());
+  std::vector<std::uint8_t> x(128, 1);
+  std::vector<std::int32_t> y(static_cast<std::size_t>(m));
+  Rng rng(1);
+  MacroRunStats stats;
+  EXPECT_THROW(
+      macro.mvm_packed(bounds, 0, x.data(), y.data(), rng, stats),
+      std::runtime_error);
+}
+
+TEST(PackedWeightsCache, ReturnsSameInstanceAndChecksGeometry) {
+  const MacroGeometry g = default_rom_macro().geometry;
+  PackedWeightsCache cache;
+  const auto w = random_weights(4, 64, 45);
+  const PackedRomWeights& first = cache.get_or_pack(w.data(), 4, 64, g);
+  const PackedRomWeights& second = cache.get_or_pack(w.data(), 4, 64, g);
+  EXPECT_EQ(&first, &second);  // packed once, shared afterwards
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.packed_bytes(), first.packed_bytes());
+
+  // A different shape is a different entry.
+  (void)cache.get_or_pack(w.data(), 2, 64, g);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // One cache serves one geometry: a mismatched hit fails loudly.
+  MacroGeometry other = g;
+  other.rows_per_activation = 16;
+  EXPECT_THROW(cache.get_or_pack(w.data(), 4, 64, other),
+               std::runtime_error);
+}
+
+TEST(PackedMvm, AnalogBitIdenticalUnderDefaultNoise) {
+  expect_paths_identical(default_rom_macro(), MacroMvmEngine::Mode::kAnalog,
+                         /*m=*/24, /*k=*/128, /*p=*/5, /*seed=*/101);
+}
+
+TEST(PackedMvm, AnalogBitIdenticalOnSramMacro) {
+  expect_paths_identical(default_sram_macro(), MacroMvmEngine::Mode::kAnalog,
+                         /*m=*/16, /*k=*/128, /*p=*/3, /*seed=*/102);
+}
+
+TEST(PackedMvm, AnalogBitIdenticalOddReduction) {
+  // k = 100: last activation group has only 4 rows.
+  expect_paths_identical(default_rom_macro(), MacroMvmEngine::Mode::kAnalog,
+                         /*m=*/8, /*k=*/100, /*p=*/4, /*seed=*/103);
+}
+
+TEST(PackedMvm, AnalogBitIdenticalMultiTile) {
+  // k = 300 spans three subarray row tiles (128 + 128 + 44).
+  expect_paths_identical(default_rom_macro(), MacroMvmEngine::Mode::kAnalog,
+                         /*m=*/6, /*k=*/300, /*p=*/3, /*seed=*/104);
+}
+
+TEST(PackedMvm, AnalogBitIdenticalNoiseFree) {
+  // sigma_cell = 0 and ADC noise = 0: the packed path switches to the
+  // draw-free table transfer; outputs and stats must still match the
+  // legacy path exactly.
+  expect_paths_identical(noise_free_rom(), MacroMvmEngine::Mode::kAnalog,
+                         /*m=*/24, /*k=*/128, /*p=*/5, /*seed=*/105);
+  expect_paths_identical(noise_free_rom(), MacroMvmEngine::Mode::kAnalog,
+                         /*m=*/8, /*k=*/100, /*p=*/2, /*seed=*/106);
+}
+
+TEST(PackedMvm, AnalogBitIdenticalNarrowOperands) {
+  MacroConfig cfg = default_rom_macro();
+  cfg.geometry.weight_bits = 4;
+  cfg.geometry.input_bits = 4;
+  expect_paths_identical(cfg, MacroMvmEngine::Mode::kAnalog,
+                         /*m=*/8, /*k=*/128, /*p=*/4, /*seed=*/107);
+}
+
+TEST(PackedMvm, ExactCostBitIdentical) {
+  expect_paths_identical(default_rom_macro(),
+                         MacroMvmEngine::Mode::kExactCost,
+                         /*m=*/24, /*k=*/128, /*p=*/5, /*seed=*/108);
+  expect_paths_identical(default_rom_macro(),
+                         MacroMvmEngine::Mode::kExactCost,
+                         /*m=*/6, /*k=*/300, /*p=*/3, /*seed=*/109);
+}
+
+TEST(PackedMvm, ExactCostBitIdenticalNarrowWeightBits) {
+  // weight_bits = 4 with full-range int8 weights: the exact path must
+  // still reconstruct the full int8 product (all 8 planes are packed),
+  // exactly like the legacy integer MAC.
+  MacroConfig cfg = default_rom_macro();
+  cfg.geometry.weight_bits = 4;
+  expect_paths_identical(cfg, MacroMvmEngine::Mode::kExactCost,
+                         /*m=*/8, /*k=*/128, /*p=*/4, /*seed=*/110);
+}
+
+}  // namespace
+}  // namespace yoloc

@@ -168,6 +168,49 @@ TEST(Runtime, ScratchReuseIsDeterministic) {
   EXPECT_TRUE(bit_identical(first, second));
 }
 
+TEST(Runtime, PackedPlanMatchesLegacyEnginesAcrossResidency) {
+  // The plan executes through cache-backed (packed) engines. Re-running
+  // the same lowered graph through cache-free engines — the pre-packing
+  // legacy path — with identically seeded noise streams must produce
+  // bit-identical outputs and stats, across mixed ROM/SRAM residency.
+  for (const auto mode :
+       {MacroMvmEngine::Mode::kAnalog, MacroMvmEngine::Mode::kExactCost}) {
+    auto plan = make_plan(mode);
+    EXPECT_GT(plan->packed_weight_bytes(), 0u);
+    EXPECT_GT(plan->rom_packed().entries(), 0u);   // b.c1 / b.c2
+    EXPECT_GT(plan->sram_packed().entries(), 0u);  // head.fc
+    const auto xs = make_requests(1);
+
+    const std::uint64_t seed = 7777;
+    ExecutionContext ctx(*plan, seed);
+    const Tensor via_packed = ctx.infer(xs[0]);
+
+    // Legacy engines over the same macros, no packed cache; sessions
+    // seeded exactly like ExecutionContext wires them (the SRAM stream
+    // is salted with 0x5A5A).
+    const MacroMvmEngine legacy_rom(plan->rom_macro(), mode);
+    const MacroMvmEngine legacy_sram(plan->sram_macro(), mode);
+    Rng rom_rng(seed);
+    Rng sram_rng(seed ^ 0x5A5A);
+    MacroRunStats rom_stats, sram_stats;
+    MvmScratch scratch;
+    MvmBinding binding;
+    binding.slot(EngineKind::kRom) = {&legacy_rom,
+                                      {&rom_rng, &rom_stats, &scratch}};
+    binding.slot(EngineKind::kSram) = {&legacy_sram,
+                                       {&sram_rng, &sram_stats, &scratch}};
+    Tensor via_legacy;
+    {
+      MvmBinding::Scope scope(binding);
+      via_legacy = plan->model().forward(xs[0], /*train=*/false);
+    }
+
+    EXPECT_TRUE(bit_identical(via_packed, via_legacy));
+    expect_stats_identical(ctx.rom_stats(), rom_stats);
+    expect_stats_identical(ctx.sram_stats(), sram_stats);
+  }
+}
+
 TEST(Runtime, FacadeMatchesBareRuntime) {
   Rng data_rng(33);
   Tensor calib = Tensor::rand_uniform({8, 3, 8, 8}, data_rng, 0.0f, 1.0f);
