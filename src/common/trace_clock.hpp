@@ -1,0 +1,49 @@
+#pragma once
+// The one steady-clock base every serving timestamp lives on.
+//
+// Spans in the tracing subsystem (serve/trace.*), latency math in the
+// metrics registry, and the scheduler's deadline arithmetic all read the
+// same std::chrono::steady_clock and, where an ABSOLUTE timestamp is
+// needed (trace events, uptime), express it as nanoseconds since one
+// process-wide epoch pinned at first use. Mixing epochs (per-registry
+// start points vs. per-collector start points) is how a trace viewer
+// ends up disagreeing with the metrics dashboard about when a request
+// ran; this header is the single place that epoch lives.
+
+#include <chrono>
+#include <cstdint>
+
+namespace yoloc {
+
+/// Clock of record for serving: monotonic, immune to wall-clock steps.
+using TraceClock = std::chrono::steady_clock;
+
+/// Process-wide epoch, pinned the first time anything asks for it
+/// (thread-safe magic static). All ns-since-epoch values in trace
+/// output and metrics share this origin.
+inline TraceClock::time_point trace_epoch() {
+  static const TraceClock::time_point epoch = TraceClock::now();
+  return epoch;
+}
+
+/// Nanoseconds from `from` to `to`; clamped at zero (never underflows
+/// when a pickup and a submit land in the same clock tick).
+inline std::uint64_t ns_between(TraceClock::time_point from,
+                                TraceClock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+/// `tp` as nanoseconds since the process trace epoch.
+inline std::uint64_t trace_ns_since_epoch(TraceClock::time_point tp) {
+  return ns_between(trace_epoch(), tp);
+}
+
+/// Now, as nanoseconds since the process trace epoch.
+inline std::uint64_t trace_now_ns() {
+  return trace_ns_since_epoch(TraceClock::now());
+}
+
+}  // namespace yoloc

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/trace_clock.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/container.hpp"
 #include "tensor/ops.hpp"
@@ -209,6 +210,8 @@ Tensor QuantConv2d::forward(const Tensor& input, bool /*train*/) {
   YOLOC_CHECK(is_calibrated(), "quant conv: deploy before calibration");
   ResolvedEngine re = resolve_engine(engine_, kind_, "quant conv");
   MvmScratch* scratch = re.session.scratch;
+  LayerTraceSink* trace = re.session.trace;
+  std::uint64_t t0 = trace != nullptr ? trace_now_ns() : 0;
 
   im2col_into(input, kernel_, kernel_, stride_, pad_, scratch->cols);
   const int p = scratch->cols.shape()[1];
@@ -217,11 +220,19 @@ Tensor QuantConv2d::forward(const Tensor& input, bool /*train*/) {
   // are unsigned).
   quantize_unsigned_with_scale_into(scratch->cols, act_scale_, act_bits_,
                                     scratch->qx);
+  if (trace != nullptr) {
+    const std::uint64_t t1 = trace_now_ns();
+    trace->layer_span("im2col", name_.c_str(), kind_, t0, t1);
+    t0 = t1;
+  }
 
   scratch->acc.resize(static_cast<std::size_t>(out_channels_) * p);
   re.engine->mvm_batch(qweight_.data.data(), out_channels_, patch_,
                        scratch->qx.data(), p, scratch->acc.data(),
                        re.session);
+  if (trace != nullptr) {
+    trace->layer_span("mvm", name_.c_str(), kind_, t0, trace_now_ns());
+  }
 
   // Fused dequantize-rescale + bias epilogue: one sequential write pass
   // over the output in memory order, source rows resolved by pointer
@@ -324,6 +335,8 @@ Tensor QuantLinear::forward(const Tensor& input, bool /*train*/) {
   YOLOC_CHECK(act_scale_ > 0.0f, "quant linear: deploy before calibration");
   ResolvedEngine re = resolve_engine(engine_, kind_, "quant linear");
   MvmScratch* scratch = re.session.scratch;
+  LayerTraceSink* trace = re.session.trace;
+  const std::uint64_t t0 = trace != nullptr ? trace_now_ns() : 0;
 
   // X columns = batch entries: engine wants (k x p) with k = features.
   transpose2d_into(input, scratch->xT);
@@ -333,6 +346,9 @@ Tensor QuantLinear::forward(const Tensor& input, bool /*train*/) {
   re.engine->mvm_batch(qweight_.data.data(), out_features_, in_features_,
                        scratch->qx.data(), batch, scratch->acc.data(),
                        re.session);
+  if (trace != nullptr) {
+    trace->layer_span("mvm", name_.c_str(), kind_, t0, trace_now_ns());
+  }
   // Fused rescale + bias epilogue over the (out x batch) accumulator:
   // raw-pointer transpose-write instead of per-element at2 index math.
   const float rescale = qweight_.scale * act_scale_;

@@ -58,20 +58,39 @@ struct MvmScratch {
   Tensor xT;  // transposed linear input
 };
 
+class LayerTraceSink;  // defined below, after EngineKind
+
 /// Mutable per-request state threaded through an engine call. Engines that
 /// model analog noise require `rng` and all engines that meter activity
 /// require `stats`; `scratch` is optional (engines fall back to local
-/// allocations when it is null).
+/// allocations when it is null). `trace` is an optional observer for
+/// per-layer span timing — null (the default) costs the hot loop nothing.
 struct MvmSession {
   Rng* rng = nullptr;
   MacroRunStats* stats = nullptr;
   MvmScratch* scratch = nullptr;
+  LayerTraceSink* trace = nullptr;
 };
 
 /// Which engine a lowered layer should execute on. Deployment assigns
 /// kRom/kSram per the parameter residency flags; kDefault is the slot
 /// used by single-engine lowering (quantize_network).
 enum class EngineKind { kDefault = 0, kRom = 1, kSram = 2 };
+
+/// Observer for per-layer deploy-time execution phases, implemented by
+/// the serving tracer (src/serve/trace.*). Quantized layers invoke it
+/// only when their session carries one, so the untraced hot path pays a
+/// single null check per phase. `phase` is a static string from the
+/// span taxonomy ("im2col" / "mvm"); `layer` points at the layer's own
+/// stable name storage (valid for the plan's lifetime); timestamps are
+/// nanoseconds on the shared trace clock (common/trace_clock.hpp).
+class LayerTraceSink {
+ public:
+  virtual ~LayerTraceSink() = default;
+  virtual void layer_span(const char* phase, const char* layer,
+                          EngineKind engine, std::uint64_t start_ns,
+                          std::uint64_t end_ns) = 0;
+};
 
 /// Integer matrix-vector-multiply backend. Implementations are immutable
 /// and safe to share across threads; per-call state lives in the session.

@@ -52,6 +52,13 @@ class ExecutionContext {
 
   [[nodiscard]] const DeploymentPlan& plan() const { return *plan_; }
 
+  /// Install (or clear, with nullptr) a per-layer trace sink: while set,
+  /// every quant layer executed through this context reports its
+  /// im2col/MVM phase timings to the sink. Observer-only — never affects
+  /// outputs, stats or noise streams.
+  void set_layer_trace(LayerTraceSink* trace) { trace_ = trace; }
+  [[nodiscard]] LayerTraceSink* layer_trace() const { return trace_; }
+
  private:
   friend class DeploymentPlan;  // wires rng/stats/scratch into the binding
 
@@ -61,6 +68,7 @@ class ExecutionContext {
   MacroRunStats rom_stats_;
   MacroRunStats sram_stats_;
   MvmScratch scratch_;
+  LayerTraceSink* trace_ = nullptr;
 };
 
 }  // namespace yoloc

@@ -17,6 +17,7 @@ SchedulerOptions to_scheduler_options(const ServerOptions& options) {
   so.workers = options.workers;
   so.max_microbatch = options.max_microbatch;
   so.noise_seed = options.noise_seed;
+  so.trace_sampling = options.trace_sampling;
   return so;
 }
 

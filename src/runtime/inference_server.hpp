@@ -29,6 +29,9 @@ struct ServerOptions {
   int max_microbatch = 8;
   /// Base noise seed; batches derive their stream from it.
   std::uint64_t noise_seed = 2024;
+  /// Per-request tracing sample rate in [0, 1]; 0 (default) disables
+  /// collection entirely. See SchedulerOptions::trace_sampling.
+  double trace_sampling = 0.0;
 };
 
 /// Aggregate served-work counters, kept for existing callers; the full
@@ -94,6 +97,15 @@ class InferenceServer {
   /// docs/serving.md for every metric name, type and meaning).
   [[nodiscard]] std::string to_prometheus() const {
     return scheduler_.to_prometheus();
+  }
+
+  /// Tracing passthroughs (active when ServerOptions::trace_sampling
+  /// > 0): chrome://tracing JSON of the sampled requests so far.
+  [[nodiscard]] std::string trace_json() const {
+    return scheduler_.trace_json();
+  }
+  void write_trace(const std::string& path) const {
+    scheduler_.write_trace(path);
   }
 
   [[nodiscard]] int worker_count() const { return scheduler_.worker_count(); }

@@ -39,6 +39,7 @@ double bucket_hi(int b) {
 }
 
 constexpr double kNsPerMs = 1e6;
+constexpr std::uint64_t kNsPerSecondU64 = 1000000000ull;
 
 LatencySummary summarize(const LatencyHistogram& h) {
   LatencySummary s;
@@ -363,7 +364,7 @@ std::string MetricsSnapshot::to_json() const {
 
 // ---------------------------------------------------- MetricsRegistry
 
-MetricsRegistry::MetricsRegistry(int workers) : start_(ServeClock::now()) {
+MetricsRegistry::MetricsRegistry(int workers) : start_ns_(trace_now_ns()) {
   YOLOC_CHECK(workers >= 1, "metrics registry: at least one worker slot");
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -393,10 +394,8 @@ void MetricsRegistry::record_batch(int worker, const BatchObservation& obs) {
     }
   }
   if (!obs.failed && obs.images > 0) {
-    const std::int64_t second =
-        std::chrono::duration_cast<std::chrono::seconds>(ServeClock::now() -
-                                                         start_)
-            .count();
+    const std::int64_t second = static_cast<std::int64_t>(
+        (trace_now_ns() - start_ns_) / kNsPerSecondU64);
     std::lock_guard lock(rate_mutex_);
     auto& s = rate_.slots[static_cast<std::size_t>(second) %
                           RollingRate::kSlots];
@@ -449,8 +448,9 @@ MetricsSnapshot MetricsRegistry::snapshot(
     const std::array<std::uint64_t, kPriorityClassCount>& queue_depths)
     const {
   MetricsSnapshot snap;
-  const auto now = ServeClock::now();
-  snap.uptime_s = std::chrono::duration<double>(now - start_).count();
+  const std::uint64_t now_ns = trace_now_ns();
+  const std::uint64_t uptime_ns = now_ns - start_ns_;
+  snap.uptime_s = static_cast<double>(uptime_ns) / 1e9;
   snap.workers = worker_slots();
 
   std::array<LatencyHistogram, kPriorityClassCount> queue_wait{};
@@ -508,7 +508,7 @@ MetricsSnapshot MetricsRegistry::snapshot(
   // rate by up to one second's worth.
   {
     const std::int64_t now_second =
-        std::chrono::duration_cast<std::chrono::seconds>(now - start_).count();
+        static_cast<std::int64_t>(uptime_ns / kNsPerSecondU64);
     std::uint64_t images = 0;
     std::lock_guard lock(rate_mutex_);
     for (const auto& s : rate_.slots) {

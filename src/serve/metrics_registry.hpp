@@ -205,7 +205,10 @@ class MetricsRegistry {
   IngressSlot ingress_;
   mutable std::mutex rate_mutex_;
   RollingRate rate_;
-  ServeClock::time_point start_;
+  /// Registry creation time as ns since trace_epoch() — the SAME base
+  /// trace spans are stamped on, so uptime, rolling-rate seconds and
+  /// trace timestamps can be compared directly.
+  std::uint64_t start_ns_;
 };
 
 }  // namespace yoloc

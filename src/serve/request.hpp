@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/trace_clock.hpp"
 #include "tensor/tensor.hpp"
 
 namespace yoloc {
@@ -65,8 +66,10 @@ inline LaneWeights strict_lane_weights() {
 /// in metrics JSON and log lines.
 const char* priority_name(Priority p);
 
-/// Clock every scheduler timestamp lives on.
-using ServeClock = std::chrono::steady_clock;
+/// Clock every scheduler timestamp lives on — an alias of the process
+/// trace clock (common/trace_clock.hpp), so scheduler deadlines, metric
+/// latencies and trace spans all share one steady base and one epoch.
+using ServeClock = TraceClock;
 
 /// Per-submit scheduling hints.
 struct SubmitOptions {

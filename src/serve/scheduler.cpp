@@ -23,21 +23,17 @@ Tensor stack_inputs(const std::vector<ServeRequest>& batch) {
   return concat_rows(inputs);
 }
 
-std::uint64_t ns_between(ServeClock::time_point from,
-                         ServeClock::time_point to) {
-  if (to <= from) return 0;
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
-          .count());
-}
-
 }  // namespace
 
 Scheduler::Scheduler(const DeploymentPlan& plan, SchedulerOptions options)
     : plan_(&plan),
       options_(options),
       metrics_(options.workers > 0 ? options.workers
-                                   : static_cast<int>(parallel_workers())) {
+                                   : static_cast<int>(parallel_workers())),
+      trace_(options.workers > 0 ? options.workers
+                                 : static_cast<int>(parallel_workers()),
+             options.trace_sampling,
+             std::max<std::size_t>(options.trace_buffer_events, 1)) {
   if (options_.workers <= 0) {
     options_.workers = static_cast<int>(parallel_workers());
   }
@@ -133,6 +129,26 @@ std::future<Tensor> Scheduler::submit(Tensor images, SubmitOptions options) {
     // at all when the shutdown check above throws): snapshots must never
     // show served > submitted for a class.
     metrics_.record_submitted(options.priority);
+    if (options_.record_admissions) {
+      // Record EVERY submission — accepted or not — so a replay
+      // reproduces admission pressure, not just the accepted subset.
+      if (!record_epoch_set_) {
+        record_epoch_ = now;
+        record_epoch_set_ = true;
+      }
+      AdmissionRecord rec;
+      rec.offset_ns = ns_between(record_epoch_, now);
+      rec.priority = options.priority;
+      rec.deadline_ns = relative_deadline.count() > 0
+                            ? static_cast<std::uint64_t>(
+                                  relative_deadline.count())
+                            : 0;
+      const auto& shape = req.input.shape();
+      for (int a = 0; a < 4; ++a) {
+        rec.shape[static_cast<std::size_t>(a)] = shape[static_cast<std::size_t>(a)];
+      }
+      records_.push_back(rec);
+    }
     // Harvest dead deadlines before the depth check: every submission is
     // a scheduling point, so queued-expired requests fail fast even
     // while all workers are busy — and they stop holding lane slots
@@ -191,6 +207,25 @@ MetricsSnapshot Scheduler::metrics_snapshot() const {
     depths = queue_.depths();
   }
   return metrics_.snapshot(depths);
+}
+
+WorkloadTrace Scheduler::recorded_trace() const {
+  WorkloadTrace trace;
+  trace.workers = worker_count();
+  trace.max_microbatch = options_.max_microbatch;
+  {
+    std::lock_guard lock(mutex_);
+    trace.records = records_;
+  }
+  const MetricsSnapshot snap = metrics_snapshot();
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    trace.submitted[i] = snap.classes[i].submitted;
+    trace.served[i] = snap.classes[i].served_requests;
+    trace.expired[i] = snap.classes[i].expired_requests;
+    trace.rejected[i] = snap.classes[i].rejected_requests;
+  }
+  return trace;
 }
 
 MacroRunStats Scheduler::rom_stats() const {
@@ -280,10 +315,55 @@ void Scheduler::worker_loop(int worker_index) {
       continue;
     }
 
+    // Tracing (observer-only): a batch is traced when ANY member's
+    // admission id samples in. Batch-scoped spans carry the batch id
+    // plus the FIRST member's request id; per-request spans carry the
+    // exact id of each sampled member.
+    const bool batch_traced = [&] {
+      if (!trace_.enabled()) return false;
+      for (const ServeRequest& r : batch) {
+        if (trace_.sampled(r.id)) return true;
+      }
+      return false;
+    }();
+    const auto emit_span = [&](const char* name, std::uint64_t request_id,
+                               std::uint64_t start_ns, std::uint64_t end_ns,
+                               std::int32_t requests, std::int32_t images) {
+      TraceEvent ev;
+      ev.name = name;
+      ev.request_id = request_id;
+      ev.batch_id = batch_id;
+      ev.start_ns = start_ns;
+      ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+      ev.requests = requests;
+      ev.images = images;
+      ev.tid = worker_index;
+      trace_.emit(worker_index, ev);
+    };
+    const std::uint64_t pickup_ns =
+        batch_traced ? trace_ns_since_epoch(pickup) : 0;
+    if (batch_traced) {
+      for (const ServeRequest& r : batch) {
+        if (!trace_.sampled(r.id)) continue;
+        emit_span(kSpanQueueWait, r.id, trace_ns_since_epoch(r.submit_time),
+                  pickup_ns, 0, 0);
+      }
+    }
+
     // Derive this batch's noise stream from its first request so results
     // do not depend on which worker picked the batch up.
     ctx.reseed(options_.noise_seed + batch.front().id);
     ctx.reset_stats();
+
+    BatchTraceSink layer_sink(&trace_, worker_index, batch.front().id,
+                              batch_id);
+    if (batch_traced) {
+      // Batch formation: pickup (queue pop under the lock) until the
+      // context is staged for execution.
+      emit_span(kSpanBatchFormation, batch.front().id, pickup_ns,
+                trace_now_ns(), static_cast<std::int32_t>(batch.size()), 0);
+      ctx.set_layer_trace(&layer_sink);
+    }
 
     Tensor output;
     std::exception_ptr error;
@@ -302,6 +382,14 @@ void Scheduler::worker_loop(int worker_index) {
       error = std::current_exception();
     }
     const auto exec_end = ServeClock::now();
+    if (batch_traced) {
+      ctx.set_layer_trace(nullptr);
+      emit_span(kSpanExecute, batch.front().id,
+                trace_ns_since_epoch(exec_start),
+                trace_ns_since_epoch(exec_end),
+                static_cast<std::int32_t>(batch.size()),
+                std::max(total_images, 0));
+    }
 
     // Fulfill promises BEFORE the completion accounting below: wait_idle()
     // promises that every accepted request has completed, so futures must
@@ -328,13 +416,25 @@ void Scheduler::worker_loop(int worker_index) {
     }
 
     // Telemetry: one observation per batch into this worker's slot.
+    const auto done = ServeClock::now();
+    if (batch_traced) {
+      // Epilogue: scatter/fulfill work between the forward pass ending
+      // and the last future of the batch becoming ready.
+      emit_span(kSpanEpilogue, batch.front().id,
+                trace_ns_since_epoch(exec_end), trace_ns_since_epoch(done),
+                static_cast<std::int32_t>(batch.size()), 0);
+      for (const ServeRequest& r : batch) {
+        if (!trace_.sampled(r.id)) continue;
+        emit_span(kSpanE2e, r.id, trace_ns_since_epoch(r.submit_time),
+                  trace_ns_since_epoch(done), 0, 0);
+      }
+    }
     BatchObservation obs;
     obs.priority = batch.front().priority;
     obs.requests = static_cast<int>(batch.size());
     obs.images = std::max(total_images, 0);
     obs.failed = error != nullptr;
     if (!error) {
-      const auto done = ServeClock::now();
       obs.queue_wait_ns.reserve(batch.size());
       obs.e2e_ns.reserve(batch.size());
       for (const ServeRequest& r : batch) {

@@ -54,6 +54,8 @@
 #include "runtime/execution_context.hpp"
 #include "serve/metrics_registry.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/trace.hpp"
+#include "serve/workload_trace.hpp"
 
 namespace yoloc {
 
@@ -91,6 +93,20 @@ struct SchedulerOptions {
   /// rolling estimate says they would overrun it. Zero = no budget
   /// (global max_microbatch applies).
   std::array<std::chrono::nanoseconds, kPriorityClassCount> lane_slo{};
+  /// Fraction of requests traced, in [0, 1]. The decision is a pure hash
+  /// of the admission id (deterministic across runs and replays); 0.0
+  /// (default) disables collection entirely — no buffers, no clock
+  /// reads on the hot path. Tracing is observer-only: outputs, stats
+  /// and scheduling are bit-identical at any sampling rate.
+  double trace_sampling = 0.0;
+  /// Per-worker trace buffer capacity in events. A full buffer drops
+  /// (and counts) further events rather than stalling the worker.
+  std::size_t trace_buffer_events = TraceCollector::kDefaultCapacity;
+  /// Record every submission (accepted or not) into an in-memory
+  /// admission trace — arrival offset, class, relative deadline, input
+  /// geometry — retrievable via recorded_trace() and replayable with
+  /// replay_trace() / tools/yoloc_replay.
+  bool record_admissions = false;
 };
 
 class Scheduler {
@@ -145,6 +161,26 @@ class Scheduler {
   }
   [[nodiscard]] const SchedulerOptions& options() const { return options_; }
 
+  /// The trace collector (always constructed; empty when
+  /// trace_sampling == 0). Safe to read concurrently with serving.
+  [[nodiscard]] const TraceCollector& trace() const { return trace_; }
+  /// Chrome trace-event JSON of everything collected so far; load in
+  /// Perfetto (ui.perfetto.dev) or chrome://tracing.
+  [[nodiscard]] std::string trace_json() const {
+    return trace_.to_chrome_json();
+  }
+  /// trace_json() written to `path` (throws std::runtime_error on I/O
+  /// failure).
+  void write_trace(const std::string& path) const {
+    trace_.write_chrome_json(path);
+  }
+
+  /// Admission trace recorded so far (requires record_admissions).
+  /// Counter fields are filled from the live metrics, so after
+  /// wait_idle() they reflect the final outcome of every recorded
+  /// submission.
+  [[nodiscard]] WorkloadTrace recorded_trace() const;
+
  private:
   struct BatchStats {
     MacroRunStats rom;
@@ -165,6 +201,7 @@ class Scheduler {
   const DeploymentPlan* plan_;
   SchedulerOptions options_;
   MetricsRegistry metrics_;
+  TraceCollector trace_;
   std::vector<std::thread> threads_;
   /// Lane eligibility per worker (reserved workers get one lane).
   std::vector<LaneMask> worker_masks_;
@@ -187,6 +224,13 @@ class Scheduler {
   std::map<std::uint64_t, BatchStats> pending_stats_;
   MacroRunStats rom_total_;
   MacroRunStats sram_total_;
+
+  /// Admission recording (record_admissions only); guarded by mutex_.
+  /// Offsets are relative to the FIRST recorded submission, so a replay
+  /// reproduces inter-arrival gaps without an absolute clock.
+  std::vector<AdmissionRecord> records_;
+  bool record_epoch_set_ = false;
+  ServeClock::time_point record_epoch_{};
 };
 
 }  // namespace yoloc

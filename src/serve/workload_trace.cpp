@@ -1,0 +1,206 @@
+#include "serve/workload_trace.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/binio.hpp"
+#include "common/check.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "serve/scheduler.hpp"
+
+namespace yoloc {
+
+namespace {
+
+constexpr char kTraceMagic[8] = {'Y', 'O', 'L', 'O', 'C', 'T', 'R', 'C'};
+
+void write_counters(
+    ByteWriter& out,
+    const std::array<std::uint64_t, kPriorityClassCount>& counters) {
+  for (const std::uint64_t v : counters) out.u64(v);
+}
+
+std::array<std::uint64_t, kPriorityClassCount> read_counters(ByteReader& in) {
+  std::array<std::uint64_t, kPriorityClassCount> counters{};
+  for (auto& v : counters) v = in.u64();
+  return counters;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> WorkloadTrace::serialize() const {
+  ByteWriter payload;
+  payload.i32(workers);
+  payload.i32(max_microbatch);
+  write_counters(payload, submitted);
+  write_counters(payload, served);
+  write_counters(payload, expired);
+  write_counters(payload, rejected);
+  payload.u64(records.size());
+  for (const AdmissionRecord& r : records) {
+    payload.u64(r.offset_ns);
+    payload.u8(static_cast<std::uint8_t>(r.priority));
+    payload.u64(r.deadline_ns);
+    for (const std::int32_t extent : r.shape) payload.i32(extent);
+  }
+
+  ByteWriter out;
+  out.bytes(kTraceMagic, sizeof(kTraceMagic));
+  out.u32(kWorkloadTraceFormatVersion);
+  out.u32(crc32(payload.buffer().data(), payload.size()));
+  out.bytes(payload.buffer().data(), payload.size());
+  return out.take();
+}
+
+WorkloadTrace WorkloadTrace::deserialize(const std::uint8_t* data,
+                                         std::size_t size) {
+  YOLOC_CHECK(data != nullptr && size >= sizeof(kTraceMagic) + 8,
+              "workload trace: truncated header");
+  YOLOC_CHECK(std::memcmp(data, kTraceMagic, sizeof(kTraceMagic)) == 0,
+              "workload trace: bad magic (not a .yoloctrace artifact)");
+  ByteReader header(data, size);
+  std::uint8_t magic_skip[sizeof(kTraceMagic)];
+  header.bytes(magic_skip, sizeof(kTraceMagic));
+  const std::uint32_t version = header.u32();
+  YOLOC_CHECK(version == kWorkloadTraceFormatVersion,
+              "workload trace: unsupported format version");
+  const std::uint32_t crc = header.u32();
+  const std::size_t payload_offset = header.offset();
+  const std::size_t payload_size = size - payload_offset;
+  YOLOC_CHECK(crc32(data + payload_offset, payload_size) == crc,
+              "workload trace: CRC mismatch (corrupt artifact)");
+
+  ByteReader in(data + payload_offset, payload_size);
+  WorkloadTrace trace;
+  trace.workers = in.i32();
+  trace.max_microbatch = in.i32();
+  trace.submitted = read_counters(in);
+  trace.served = read_counters(in);
+  trace.expired = read_counters(in);
+  trace.rejected = read_counters(in);
+  const std::uint64_t count = in.u64();
+  // Each record is at least 33 bytes; a count the payload cannot hold
+  // means a corrupt length field, not a huge allocation.
+  YOLOC_CHECK(count <= in.remaining() / 33,
+              "workload trace: record count exceeds payload");
+  trace.records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    AdmissionRecord r;
+    r.offset_ns = in.u64();
+    const std::uint8_t cls = in.u8();
+    YOLOC_CHECK(cls < kPriorityClassCount,
+                "workload trace: bad priority class");
+    r.priority = static_cast<Priority>(cls);
+    r.deadline_ns = in.u64();
+    for (std::int32_t& extent : r.shape) extent = in.i32();
+    YOLOC_CHECK(r.shape[0] >= 1 && r.shape[1] >= 1 && r.shape[2] >= 1 &&
+                    r.shape[3] >= 1,
+                "workload trace: bad input geometry");
+    trace.records.push_back(r);
+  }
+  in.expect_exhausted("workload trace");
+  return trace;
+}
+
+void save_workload_trace(const WorkloadTrace& trace,
+                         const std::string& path) {
+  const std::vector<std::uint8_t> bytes = trace.serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  YOLOC_CHECK(out.good(), "save_workload_trace: cannot open '" + path + "'");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  YOLOC_CHECK(out.good(),
+              "save_workload_trace: write failed for '" + path + "'");
+}
+
+WorkloadTrace load_workload_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  YOLOC_CHECK(in.good(), "load_workload_trace: cannot open '" + path + "'");
+  const std::streamsize size = in.tellg();
+  YOLOC_CHECK(size > 0, "load_workload_trace: empty artifact '" + path + "'");
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  YOLOC_CHECK(in.gcount() == size,
+              "load_workload_trace: short read on '" + path + "'");
+  return WorkloadTrace::deserialize(bytes.data(), bytes.size());
+}
+
+ReplayResult replay_trace(const WorkloadTrace& trace,
+                          const DeploymentPlan& plan,
+                          const SchedulerOptions& scheduler_options,
+                          const ReplayOptions& options) {
+  YOLOC_CHECK(options.speed > 0.0, "replay: speed must be > 0");
+  SchedulerOptions sched = scheduler_options;
+  sched.record_admissions = options.record;
+  Scheduler scheduler(plan, sched);
+
+  // The trace records geometry, not pixels: synthesize each distinct
+  // shape once from a fixed seed so every replay (and every host) feeds
+  // the scheduler bit-identical inputs.
+  std::map<std::array<std::int32_t, 4>, Tensor> inputs;
+  Rng rng(options.input_seed);
+  const auto input_for = [&](const AdmissionRecord& r) -> const Tensor& {
+    auto it = inputs.find(r.shape);
+    if (it == inputs.end()) {
+      const std::vector<int> shape(r.shape.begin(), r.shape.end());
+      it = inputs.emplace(r.shape, Tensor::rand_uniform(shape, rng, 0.0f, 1.0f))
+               .first;
+    }
+    return it->second;
+  };
+
+  const auto start = ServeClock::now();
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(trace.records.size());
+  for (const AdmissionRecord& r : trace.records) {
+    if (options.pace) {
+      std::this_thread::sleep_until(
+          start + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                      static_cast<double>(r.offset_ns) / options.speed)));
+    }
+    SubmitOptions so;
+    so.priority = r.priority;
+    so.deadline =
+        std::chrono::nanoseconds(static_cast<std::int64_t>(r.deadline_ns));
+    futures.push_back(scheduler.submit(input_for(r), so));
+  }
+  scheduler.wait_idle();
+
+  ReplayResult result;
+  // Drain every future (errors are already accounted in the metrics —
+  // expired/rejected futures carry exceptions by design).
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(ServeClock::now() - start).count();
+  result.snapshot = scheduler.metrics_snapshot();
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    // Outcome classification mirrors recorded_trace(): both sides read
+    // the scheduler's own metrics, so "expired at submit" lands in the
+    // same bucket (rejected) in both traces.
+    result.served[i] = result.snapshot.classes[i].served_requests;
+    result.expired[i] = result.snapshot.classes[i].expired_requests;
+    result.rejected[i] = result.snapshot.classes[i].rejected_requests;
+  }
+  result.counts_match = result.served == trace.served &&
+                        result.expired == trace.expired &&
+                        result.rejected == trace.rejected;
+  if (options.record) result.replayed = scheduler.recorded_trace();
+  if (scheduler.trace().enabled()) result.trace_json = scheduler.trace_json();
+  return result;
+}
+
+}  // namespace yoloc

@@ -7,7 +7,9 @@
 # Runs the dump tool (a short real traffic mix against the scheduler),
 # extracts every metric family name from the exposition (stripping the
 # histogram _bucket/_sum/_count series suffixes), and greps the docs page
-# for each. Wired as the `docs`-labeled CTest and the `docs-check` CMake
+# for each. The trace span taxonomy is held to the same contract: every
+# span name the collector can emit (--list-trace-spans) must appear in
+# the docs. Wired as the `docs`-labeled CTest and the `docs-check` CMake
 # target so the docs cannot silently drift from the code.
 
 set -euo pipefail
@@ -59,8 +61,23 @@ for name in $names; do
   fi
 done
 
+# Trace span taxonomy: every span name the collector can emit must be
+# documented alongside the metrics.
+spans=$("$bin" --list-trace-spans)
+if [ -z "$spans" ]; then
+  echo "docs-check: --list-trace-spans produced no span names" >&2
+  exit 1
+fi
+for span in $spans; do
+  if ! grep -q "\`$span\`" "$docs"; then
+    echo "docs-check: trace span '$span' is not documented in $docs" >&2
+    missing=1
+  fi
+done
+
 if [ "$missing" -ne 0 ]; then
   exit 1
 fi
 count=$(printf '%s\n' "$names" | wc -l)
-echo "docs-check: all $count metric families documented in $docs"
+span_count=$(printf '%s\n' "$spans" | wc -l)
+echo "docs-check: all $count metric families and $span_count trace spans documented in $docs"

@@ -5,12 +5,22 @@
 // (every emitted metric name must be documented in docs/serving.md).
 //
 //   build/yoloc_metrics_dump [--seconds=S] [--policy=strict|weighted]
-//                            [--json]
+//                            [--json] [--trace-out=PATH]
+//                            [--list-trace-spans]
 //
 // The workload exercises every metric family: all three lanes carry
 // traffic, one request is submitted with an already-dead deadline
 // (rejected at admission) and a burst of deliberately tight deadlines
 // populates the expired counters/histogram.
+//
+// --trace-out=PATH runs the same workload with trace_sampling = 1.0 and
+// writes the chrome://tracing JSON to PATH — the quickest way to get a
+// real flame graph out of the scheduler. --record-out=PATH records the
+// admission stream and saves a .yoloctrace workload artifact replayable
+// with yoloc_replay. --list-trace-spans prints the span taxonomy (one
+// name per line) and exits; tools/docs_check.sh uses it to keep
+// docs/serving.md in sync with the code, the same contract the metric
+// families live under.
 
 #include <chrono>
 #include <cstdio>
@@ -69,6 +79,8 @@ int main(int argc, char** argv) {
   double seconds = 0.3;
   bool weighted = true;
   bool json = false;
+  std::string trace_out;
+  std::string record_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
       seconds = std::atof(argv[i] + 10);
@@ -78,10 +90,18 @@ int main(int argc, char** argv) {
       weighted = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--record-out=", 13) == 0) {
+      record_out = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--list-trace-spans") == 0) {
+      for (const char* name : kTraceSpanNames) std::printf("%s\n", name);
+      return 0;
     } else {
       std::fprintf(stderr,
                    "usage: yoloc_metrics_dump [--seconds=S] "
-                   "[--policy=strict|weighted] [--json]\n");
+                   "[--policy=strict|weighted] [--json] [--trace-out=PATH] "
+                   "[--record-out=PATH] [--list-trace-spans]\n");
       return 2;
     }
   }
@@ -90,6 +110,8 @@ int main(int argc, char** argv) {
   SchedulerOptions options;
   options.max_microbatch = 8;
   options.max_queue_depth = 256;
+  if (!trace_out.empty()) options.trace_sampling = 1.0;
+  if (!record_out.empty()) options.record_admissions = true;
   if (weighted) {
     options.lane_weights = {8.0, 3.0, 1.0};
     options.lane_slo[static_cast<std::size_t>(Priority::kInteractive)] =
@@ -128,6 +150,14 @@ int main(int argc, char** argv) {
   drain(in_flight);
   scheduler.wait_idle();
 
+  if (!trace_out.empty()) {
+    scheduler.write_trace(trace_out);
+    std::fprintf(stderr, "wrote trace to %s\n", trace_out.c_str());
+  }
+  if (!record_out.empty()) {
+    save_workload_trace(scheduler.recorded_trace(), record_out);
+    std::fprintf(stderr, "wrote workload trace to %s\n", record_out.c_str());
+  }
   const std::string text =
       json ? scheduler.metrics_snapshot().to_json() : scheduler.to_prometheus();
   std::fputs(text.c_str(), stdout);

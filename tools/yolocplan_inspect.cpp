@@ -1,14 +1,16 @@
 // yolocplan_inspect — dump a .yolocplan deployment artifact.
 //
-//   build/yolocplan_inspect PATH [--no-graph]
+//   build/yolocplan_inspect PATH [--no-graph] [--packed]
 //
 // Prints the artifact header (magic/version), the section table with
 // id/offset/size and a stored-vs-computed CRC-32 verdict per section,
 // then cold-loads the plan and walks the lowered layer graph: one line
 // per layer with kind, name, geometry, engine residency (ROM/SRAM) and
-// calibrated activation scale. Exit status: 0 on a clean artifact,
-// 1 on any integrity failure (bad magic/version/table/CRC or a graph
-// that refuses to load).
+// calibrated activation scale. --packed additionally reports the
+// deploy-time packed weight bit-plane footprint (total resident bytes,
+// pack time, per-engine entry/byte counts). Exit status: 0 on a clean
+// artifact, 1 on any integrity failure (bad magic/version/table/CRC or
+// a graph that refuses to load).
 //
 // The section-table walk parses the container format directly (it is
 // small and documented in runtime/plan_serde.hpp) so a corrupt artifact
@@ -193,13 +195,13 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   return bytes;
 }
 
-int run(const std::string& path, bool dump_graph) {
+int run(const std::string& path, bool dump_graph, bool dump_packed) {
   const std::vector<std::uint8_t> bytes = read_file(path);
   std::printf("%s  (%llu bytes)\n", path.c_str(),
               static_cast<unsigned long long>(bytes.size()));
   bool ok = dump_section_table(bytes);
 
-  if (dump_graph && ok) {
+  if ((dump_graph || dump_packed) && ok) {
     try {
       auto plan = deserialize_plan(bytes.data(), bytes.size());
       const DeploymentOptions& o = plan->options();
@@ -210,10 +212,27 @@ int run(const std::string& path, bool dump_graph) {
           o.weight_bits, o.act_bits, plan->quantized_layer_count(),
           o.rom_macro.geometry.rows, o.rom_macro.geometry.cols,
           o.sram_macro.geometry.rows, o.sram_macro.geometry.cols);
-      std::printf("\nlowered layer graph:\n");
-      dump_layer(plan->model(), 1);
+      if (dump_packed) {
+        // deserialize_plan prepacks eagerly, so these caches are the
+        // deploy-time resident footprint, not a lazily filled subset.
+        std::printf(
+            "\npacked weight bit-planes:\n"
+            "  total    %llu B resident, packed in %.3f ms\n"
+            "  rom      %zu entries, %llu B\n"
+            "  sram     %zu entries, %llu B\n",
+            static_cast<unsigned long long>(plan->packed_weight_bytes()),
+            plan->pack_ms(), plan->rom_packed().entries(),
+            static_cast<unsigned long long>(plan->rom_packed().packed_bytes()),
+            plan->sram_packed().entries(),
+            static_cast<unsigned long long>(
+                plan->sram_packed().packed_bytes()));
+      }
+      if (dump_graph) {
+        std::printf("\nlowered layer graph:\n");
+        dump_layer(plan->model(), 1);
+      }
     } catch (const std::exception& e) {
-      std::printf("\ngraph load FAILED: %s\n", e.what());
+      std::printf("\nplan load FAILED: %s\n", e.what());
       ok = false;
     }
   }
@@ -225,9 +244,12 @@ int run(const std::string& path, bool dump_graph) {
 int main(int argc, char** argv) {
   std::string path;
   bool dump_graph = true;
+  bool dump_packed = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-graph") == 0) {
       dump_graph = false;
+    } else if (std::strcmp(argv[i], "--packed") == 0) {
+      dump_packed = true;
     } else if (path.empty()) {
       path = argv[i];
     } else {
@@ -236,11 +258,12 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: yolocplan_inspect PATH [--no-graph]\n");
+    std::fprintf(stderr,
+                 "usage: yolocplan_inspect PATH [--no-graph] [--packed]\n");
     return 2;
   }
   try {
-    return run(path, dump_graph);
+    return run(path, dump_graph, dump_packed);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "yolocplan_inspect: %s\n", e.what());
     return 1;
