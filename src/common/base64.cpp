@@ -1,0 +1,94 @@
+#include "common/base64.hpp"
+
+#include <array>
+
+namespace yoloc {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> build_reverse() {
+  std::array<std::int8_t, 256> rev{};
+  for (auto& v : rev) v = -1;
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return rev;
+}
+
+constexpr std::array<std::int8_t, 256> kReverse = build_reverse();
+
+}  // namespace
+
+std::string base64_encode(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::string out;
+  out.reserve(((size + 2) / 3) * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= size; i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                            static_cast<std::uint32_t>(bytes[i + 2]);
+    out += kAlphabet[(v >> 18) & 0x3f];
+    out += kAlphabet[(v >> 12) & 0x3f];
+    out += kAlphabet[(v >> 6) & 0x3f];
+    out += kAlphabet[v & 0x3f];
+  }
+  const std::size_t rest = size - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes[i]) << 16;
+    out += kAlphabet[(v >> 18) & 0x3f];
+    out += kAlphabet[(v >> 12) & 0x3f];
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[i + 1]) << 8);
+    out += kAlphabet[(v >> 18) & 0x3f];
+    out += kAlphabet[(v >> 12) & 0x3f];
+    out += kAlphabet[(v >> 6) & 0x3f];
+    out += '=';
+  }
+  return out;
+}
+
+bool base64_decode(const std::string& text, std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (text.size() % 4 != 0) return false;
+  out.reserve((text.size() / 4) * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last group, in the last two slots,
+        // and must run to the end.
+        if (i + 4 != text.size() || j < 2) {
+          out.clear();
+          return false;
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) {  // data after '='
+        out.clear();
+        return false;
+      }
+      const std::int8_t s = kReverse[static_cast<unsigned char>(c)];
+      if (s < 0) {
+        out.clear();
+        return false;
+      }
+      v = (v << 6) | static_cast<std::uint32_t>(s);
+    }
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  return true;
+}
+
+}  // namespace yoloc

@@ -1,0 +1,22 @@
+#pragma once
+// Standard (RFC 4648) base64 — the tensor-payload encoding of the HTTP
+// serving front-end (src/serve/http_server.*): raw little-endian f32
+// buffers travel as `data_b64` JSON fields, so inference inputs and
+// outputs round-trip bit-exactly through text transports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace yoloc {
+
+/// Encode `size` bytes as padded base64 (no line breaks).
+std::string base64_encode(const void* data, std::size_t size);
+
+/// Strict inverse of base64_encode: rejects non-alphabet characters,
+/// embedded whitespace, bad padding and truncated input. Returns false
+/// on malformed input (out is left empty), so network-facing callers can
+/// map failure to 400 instead of catching.
+bool base64_decode(const std::string& text, std::vector<std::uint8_t>& out);
+
+}  // namespace yoloc

@@ -361,6 +361,63 @@ std::vector<std::uint8_t> assemble(const std::vector<Section>& sections) {
 
 }  // namespace
 
+const char* plan_section_name(std::uint32_t id) {
+  switch (id) {
+    case kSectionOptions:
+      return "OPTIONS";
+    case kSectionGraph:
+      return "GRAPH";
+    default:
+      return "unknown";
+  }
+}
+
+PlanArtifactInfo inspect_plan(const std::uint8_t* data, std::size_t size) {
+  YOLOC_CHECK(data != nullptr && size >= sizeof(kMagic) + 8,
+              "plan: truncated header");
+  YOLOC_CHECK(std::memcmp(data, kMagic, sizeof(kMagic)) == 0,
+              "plan: bad magic (not a .yolocplan artifact)");
+  ByteReader header(data, size);
+  std::uint8_t magic_skip[sizeof(kMagic)];
+  header.bytes(magic_skip, sizeof(kMagic));
+
+  PlanArtifactInfo info;
+  info.file_bytes = size;
+  info.version = header.u32();
+  YOLOC_CHECK(info.version == kPlanFormatVersion,
+              "plan: unsupported format version");
+  const std::uint32_t nsec = header.u32();
+  YOLOC_CHECK(nsec >= 1 && nsec <= 64, "plan: bad section count");
+  YOLOC_CHECK(size - header.offset() >= nsec * kTableEntryBytes,
+              "plan: truncated section table");
+  info.sections.reserve(nsec);
+  for (std::uint32_t i = 0; i < nsec; ++i) {
+    PlanSectionInfo s;
+    s.id = header.u32();
+    s.offset = header.u64();
+    s.size = header.u64();
+    s.crc32_value = header.u32();
+    YOLOC_CHECK(s.offset <= size && s.size <= size - s.offset,
+                "plan: section out of bounds");
+    s.crc_ok = crc32(data + s.offset, s.size) == s.crc32_value;
+    info.sections.push_back(s);
+  }
+  return info;
+}
+
+PlanArtifactInfo inspect_plan_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  YOLOC_CHECK(in.good(), "inspect_plan: cannot open '" + path + "'");
+  const std::streamsize size = in.tellg();
+  YOLOC_CHECK(size > 0, "inspect_plan: empty artifact '" + path + "'");
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  YOLOC_CHECK(in.gcount() == size,
+              "inspect_plan: short read on '" + path + "'");
+  return inspect_plan(bytes.data(), bytes.size());
+}
+
 std::vector<std::uint8_t> serialize_plan(const DeploymentPlan& plan) {
   ByteWriter options;
   write_options(options, plan);

@@ -45,6 +45,36 @@ inline constexpr std::uint32_t kPlanFormatVersion = 1;
 /// Canonical artifact extension.
 inline constexpr const char* kPlanFileExtension = ".yolocplan";
 
+/// One section-table row of a .yolocplan artifact, as read back from the
+/// container header (inspection-only view, no payload decode).
+struct PlanSectionInfo {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc32_value = 0;  ///< stored CRC-32
+  bool crc_ok = false;            ///< stored CRC matches the payload bytes
+};
+
+/// Container-level summary of an artifact: header fields plus the
+/// section table with per-section CRC verdicts. Powers the HTTP serving
+/// front-end's GET /plan endpoint and yolocplan_inspect.
+struct PlanArtifactInfo {
+  std::uint32_t version = 0;
+  std::uint64_t file_bytes = 0;
+  std::vector<PlanSectionInfo> sections;
+};
+
+/// Stable name for a section id ("OPTIONS", "GRAPH", "unknown").
+const char* plan_section_name(std::uint32_t id);
+
+/// Parse the container header + section table WITHOUT decoding payloads.
+/// Throws std::runtime_error on bad magic, unsupported version or a
+/// malformed/out-of-bounds table; per-section CRC mismatches are
+/// reported via PlanSectionInfo::crc_ok, not thrown, so a corrupt
+/// artifact still yields its table.
+PlanArtifactInfo inspect_plan(const std::uint8_t* data, std::size_t size);
+PlanArtifactInfo inspect_plan_file(const std::string& path);
+
 /// In-memory encode/decode (the file functions wrap these; tests use
 /// them to exercise corruption paths without touching the filesystem).
 std::vector<std::uint8_t> serialize_plan(const DeploymentPlan& plan);

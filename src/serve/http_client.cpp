@@ -1,0 +1,196 @@
+#include "serve/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace yoloc {
+
+namespace {
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, int port,
+                       std::chrono::milliseconds timeout)
+    : host_(std::move(host)), port_(port), timeout_(timeout) {}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void HttpClient::connect_socket() {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("http client: socket() failed");
+
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_.count() % 1000) * 1000);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("http client: bad address '" + host_ + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close();
+    throw std::runtime_error("http client: cannot connect to " + host_ + ":" +
+                             std::to_string(port_) + " (" +
+                             std::strerror(err) + ")");
+  }
+}
+
+HttpResponse HttpClient::request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string wire;
+  wire.reserve(256 + body.size());
+  wire += method;
+  wire += ' ';
+  wire += target;
+  wire += " HTTP/1.1\r\nHost: ";
+  wire += host_;
+  wire += ':';
+  wire += std::to_string(port_);
+  wire += "\r\nConnection: keep-alive\r\n";
+  for (const auto& [k, v] : headers) {
+    wire += k;
+    wire += ": ";
+    wire += v;
+    wire += "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  const bool reused = fd_ >= 0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) connect_socket();
+    bool sent = true;
+    std::size_t written = 0;
+    while (written < wire.size()) {
+      const ssize_t n = ::send(fd_, wire.data() + written,
+                               wire.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) {
+        sent = false;
+        break;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (sent) {
+      try {
+        return read_response();
+      } catch (const std::runtime_error&) {
+        // A reused keep-alive socket the server already closed: replay
+        // exactly once on a fresh connection. A fresh-connection failure
+        // is real.
+        if (!reused || attempt > 0) throw;
+      }
+    } else if (!reused || attempt > 0) {
+      throw std::runtime_error("http client: send failed");
+    }
+    close();
+  }
+  throw std::runtime_error("http client: request failed");  // unreachable
+}
+
+HttpResponse HttpClient::read_response() {
+  auto read_more = [&] {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      throw std::runtime_error(
+          n == 0 ? "http client: connection closed mid-response"
+                 : "http client: recv failed or timed out");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  };
+
+  for (;;) {  // loop to skip interim 1xx responses
+    std::size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      read_more();
+    }
+    const std::string head = buffer_.substr(0, header_end);
+    buffer_.erase(0, header_end + 4);
+
+    HttpResponse resp;
+    const std::size_t line_end = head.find("\r\n");
+    const std::string status_line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+    if (status_line.rfind("HTTP/1.", 0) != 0 || status_line.size() < 12) {
+      throw std::runtime_error("http client: malformed status line: " +
+                               status_line);
+    }
+    resp.status = std::atoi(status_line.c_str() + 9);
+
+    std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      std::size_t eol = head.find("\r\n", pos);
+      if (eol == std::string::npos) eol = head.size();
+      const std::string line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string value = line.substr(colon + 1);
+      const std::size_t first = value.find_first_not_of(" \t");
+      const std::size_t last = value.find_last_not_of(" \t");
+      value = first == std::string::npos
+                  ? std::string{}
+                  : value.substr(first, last - first + 1);
+      resp.headers[lowercase(line.substr(0, colon))] = std::move(value);
+    }
+
+    if (resp.status == 100) continue;  // interim; real response follows
+
+    std::size_t content_length = 0;
+    const auto cl = resp.headers.find("content-length");
+    if (cl != resp.headers.end()) {
+      content_length = static_cast<std::size_t>(
+          std::strtoull(cl->second.c_str(), nullptr, 10));
+    }
+    while (buffer_.size() < content_length) read_more();
+    resp.body = buffer_.substr(0, content_length);
+    buffer_.erase(0, content_length);
+
+    const auto conn = resp.headers.find("connection");
+    if (conn != resp.headers.end() && lowercase(conn->second) == "close") {
+      close();
+    }
+    return resp;
+  }
+}
+
+}  // namespace yoloc

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal blocking HTTP/1.1 client — just enough to talk to HttpServer
+// from tests and tools/yoloc_loadgen (no external dependencies). One
+// client = one keep-alive connection, reused across requests and
+// transparently re-established when the server closed it (stale
+// keep-alive replay). NOT thread-safe; give each thread its own client.
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace yoloc {
+
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< lowercased keys
+  std::string body;
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port,
+             std::chrono::milliseconds timeout = std::chrono::milliseconds(
+                 5000));
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Send one request and read the full response. Connects lazily;
+  /// retries once over a fresh connection when a reused keep-alive
+  /// socket turns out to be dead. Throws std::runtime_error on connect
+  /// failure, timeout, or a malformed response.
+  HttpResponse request(
+      const std::string& method, const std::string& target,
+      const std::string& body = {},
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  HttpResponse get(const std::string& target) {
+    return request("GET", target);
+  }
+  HttpResponse post(const std::string& target, const std::string& body,
+                    const std::string& content_type = "application/json") {
+    return request("POST", target, body, {{"Content-Type", content_type}});
+  }
+
+  /// Drop the kept-alive socket (next request reconnects).
+  void close();
+
+ private:
+  void connect_socket();
+  HttpResponse read_response();
+
+  std::string host_;
+  int port_;
+  std::chrono::milliseconds timeout_;
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the previous response
+};
+
+}  // namespace yoloc

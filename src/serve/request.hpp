@@ -88,6 +88,24 @@ class AdmissionError : public std::runtime_error {
       : std::runtime_error("admission: " + what) {}
 };
 
+/// Refused because the lane sits at its depth cap — transient overload,
+/// safe to retry once the queue drains. Network front-ends map this to
+/// HTTP 429 Too Many Requests.
+class QueueDepthError : public AdmissionError {
+ public:
+  explicit QueueDepthError(const std::string& what) : AdmissionError(what) {}
+};
+
+/// Refused because the requested deadline is tighter than the rolling
+/// service estimate — the scheduler cannot meet it no matter how empty
+/// the queue is. Network front-ends map this to HTTP 503 with a
+/// Retry-After hint.
+class InfeasibleDeadlineError : public AdmissionError {
+ public:
+  explicit InfeasibleDeadlineError(const std::string& what)
+      : AdmissionError(what) {}
+};
+
 /// Request canceled because its deadline passed before (or at) admission
 /// or while it was still queued.
 class DeadlineExpiredError : public std::runtime_error {

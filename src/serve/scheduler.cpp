@@ -165,7 +165,7 @@ std::future<Tensor> Scheduler::submit(Tensor images, SubmitOptions options) {
         queue_.push(std::move(req));
         break;
       case RequestQueue::Admission::kQueueFull:
-        rejection = std::make_exception_ptr(AdmissionError(
+        rejection = std::make_exception_ptr(QueueDepthError(
             std::string(priority_name(options.priority)) +
             " lane at depth cap " +
             std::to_string(options_.max_queue_depth)));
@@ -175,7 +175,7 @@ std::future<Tensor> Scheduler::submit(Tensor images, SubmitOptions options) {
             DeadlineExpiredError("deadline not in the future at submit"));
         break;
       case RequestQueue::Admission::kInfeasible:
-        rejection = std::make_exception_ptr(AdmissionError(
+        rejection = std::make_exception_ptr(InfeasibleDeadlineError(
             "deadline tighter than the estimated service time"));
         break;
     }

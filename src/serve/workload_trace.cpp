@@ -138,6 +138,23 @@ ReplayResult replay_trace(const WorkloadTrace& trace,
                           const SchedulerOptions& scheduler_options,
                           const ReplayOptions& options) {
   YOLOC_CHECK(options.speed > 0.0, "replay: speed must be > 0");
+
+  if (trace.records.empty()) {
+    // Zero-admission trace: nothing to re-submit, so skip the scheduler
+    // entirely. counts_match reduces to "the recorded outcome counters
+    // are themselves all zero" — a recorded counter with no matching
+    // record can never be reproduced and must fail the check.
+    ReplayResult result;
+    result.counts_match = trace.served == result.served &&
+                          trace.expired == result.expired &&
+                          trace.rejected == result.rejected;
+    if (options.record) {
+      result.replayed.workers = scheduler_options.workers;
+      result.replayed.max_microbatch = scheduler_options.max_microbatch;
+    }
+    return result;
+  }
+
   SchedulerOptions sched = scheduler_options;
   sched.record_admissions = options.record;
   Scheduler scheduler(plan, sched);

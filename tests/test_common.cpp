@@ -5,8 +5,13 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "common/base64.hpp"
 #include "common/binio.hpp"
 #include "common/check.hpp"
 #include "common/crc32.hpp"
@@ -250,6 +255,56 @@ TEST(Check, ThrowsWithMessage) {
 
 TEST(Check, PassesOnTrue) {
   EXPECT_NO_THROW(YOLOC_CHECK(true, "never"));
+}
+
+TEST(Base64, MatchesRfc4648Vectors) {
+  const std::pair<const char*, const char*> vectors[] = {
+      {"", ""},           {"f", "Zg=="},     {"fo", "Zm8="},
+      {"foo", "Zm9v"},    {"foob", "Zm9vYg=="},
+      {"fooba", "Zm9vYmE="}, {"foobar", "Zm9vYmFy"},
+  };
+  for (const auto& [plain, encoded] : vectors) {
+    EXPECT_EQ(base64_encode(plain, std::strlen(plain)), encoded) << plain;
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(base64_decode(encoded, back)) << encoded;
+    EXPECT_EQ(std::string(back.begin(), back.end()), plain);
+  }
+}
+
+TEST(Base64, RoundTripsBinaryExactly) {
+  // f32 tensors ride base64 through the HTTP API; the round trip must
+  // be byte-exact for every value including NaN payloads and -0.0.
+  Rng rng(11);
+  std::vector<float> values(257);  // deliberately not a multiple of 3 bytes
+  for (float& v : values) v = rng.normal(0.0f, 10.0f);
+  values[0] = -0.0f;
+  values[1] = std::numeric_limits<float>::quiet_NaN();
+  values[2] = std::numeric_limits<float>::infinity();
+  const std::string text =
+      base64_encode(values.data(), values.size() * sizeof(float));
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(base64_decode(text, back));
+  ASSERT_EQ(back.size(), values.size() * sizeof(float));
+  EXPECT_EQ(std::memcmp(back.data(), values.data(), back.size()), 0);
+}
+
+TEST(Base64, StrictDecoderRejectsMalformedInput) {
+  std::vector<std::uint8_t> out;
+  // Length not a multiple of 4.
+  EXPECT_FALSE(base64_decode("Zg", out));
+  EXPECT_FALSE(base64_decode("Zm9vY", out));
+  // Characters outside the alphabet (including whitespace).
+  EXPECT_FALSE(base64_decode("Zm9v\n", out));
+  EXPECT_FALSE(base64_decode("Zm!v", out));
+  // Padding in the wrong place.
+  EXPECT_FALSE(base64_decode("=m9v", out));
+  EXPECT_FALSE(base64_decode("Z==v", out));
+  EXPECT_FALSE(base64_decode("Zg==Zg==", out));  // pad before the end
+  // A failed decode leaves `out` empty, never half-filled.
+  EXPECT_TRUE(out.empty());
+  // And the empty string is valid.
+  EXPECT_TRUE(base64_decode("", out));
+  EXPECT_TRUE(out.empty());
 }
 
 }  // namespace

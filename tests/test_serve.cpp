@@ -933,8 +933,12 @@ TEST(Prometheus, ExpositionParsesAndBucketsAreMonotone) {
   (void)scheduler.submit(make_input(1, {1, 3, 8, 8})).get();
   auto blocker = scheduler.submit(make_blocker_input(),
                                   {Priority::kInteractive, milliseconds(0)});
+  // The victim's deadline must clear the admission feasibility check
+  // (rolling per-image estimate, a few ms — more under sanitizers) yet
+  // die long before the ~32-image blocker releases the worker, so it
+  // expires IN QUEUE rather than being rejected up front.
   auto victim = scheduler.submit(make_input(2, {1, 3, 8, 8}),
-                                 {Priority::kBestEffort, milliseconds(3)});
+                                 {Priority::kBestEffort, milliseconds(25)});
   EXPECT_THROW((void)victim.get(), DeadlineExpiredError);
   (void)blocker.get();
   scheduler.wait_idle();
@@ -1011,6 +1015,100 @@ TEST(Prometheus, ExpositionParsesAndBucketsAreMonotone) {
       text.find("yoloc_serve_expired_wait_seconds_count{lane=\"best_effort\"} "
                 "1"),
       std::string::npos);
+}
+
+TEST(Prometheus, ConcurrentScrapesUnderTrafficStayWellFormed) {
+  // The /metrics endpoint scrapes a LIVE scheduler: exposition must be
+  // readable from many threads while workers are mutating the
+  // registries. Every scrape has to parse, and every histogram in every
+  // scrape must be internally consistent (monotone cumulative buckets
+  // capped by its _count) — a torn read would break one of the two.
+  auto plan = make_plan(MacroMvmEngine::Mode::kExactCost);
+  SchedulerOptions options;
+  options.workers = 2;
+  options.max_microbatch = 2;
+  Scheduler scheduler(*plan, options);
+
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    std::uint64_t seed = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      SubmitOptions so;
+      so.priority = static_cast<Priority>(seed % kPriorityClassCount);
+      (void)scheduler.submit(make_input(seed++, {1, 3, 8, 8}), so).get();
+    }
+  });
+
+  constexpr int kScrapers = 4;
+  constexpr int kScrapesEach = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < kScrapesEach; ++i) {
+        const std::string text = scheduler.to_prometheus();
+        // Parse: lines are comments or `series value`; group histogram
+        // bucket series per family+lane in emission order.
+        std::map<std::string, std::vector<double>> buckets;
+        std::map<std::string, double> counts;
+        std::istringstream lines(text);
+        std::string line;
+        bool parsed = true;
+        while (std::getline(lines, line)) {
+          if (line.empty() || line[0] == '#') continue;
+          const auto space = line.rfind(' ');
+          char* end = nullptr;
+          const double v =
+              std::strtod(line.c_str() + space + 1, &end);
+          if (space == std::string::npos || end == nullptr || *end != '\0' ||
+              v < 0.0) {
+            parsed = false;
+            break;
+          }
+          const std::string series = line.substr(0, space);
+          const auto brace = series.find('{');
+          const std::string name =
+              brace == std::string::npos ? series : series.substr(0, brace);
+          const auto lane_pos = series.find("lane=\"");
+          const std::string lane =
+              lane_pos == std::string::npos
+                  ? std::string{}
+                  : series.substr(
+                        lane_pos + 6,
+                        series.find('"', lane_pos + 6) - lane_pos - 6);
+          if (name.size() > 7 && name.rfind("_bucket") == name.size() - 7) {
+            buckets[name.substr(0, name.size() - 7) + "/" + lane].push_back(
+                v);
+          } else if (name.size() > 6 &&
+                     name.rfind("_count") == name.size() - 6) {
+            counts[name.substr(0, name.size() - 6) + "/" + lane] = v;
+          }
+        }
+        if (!parsed || buckets.empty()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (const auto& [key, series] : buckets) {
+          for (std::size_t b = 1; b < series.size(); ++b) {
+            if (series[b - 1] > series[b]) failures.fetch_add(1);
+          }
+          // Cumulative +Inf bucket equals the family count.
+          const auto count = counts.find(key);
+          if (count == counts.end() || series.back() != count->second) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  stop.store(true, std::memory_order_release);
+  traffic.join();
+  scheduler.wait_idle();
+
+  EXPECT_EQ(failures.load(), 0);
+  // The run did both things at once: traffic flowed AND scrapes read it.
+  EXPECT_GT(scheduler.metrics_snapshot().served_requests, 0u);
 }
 
 TEST(InferenceServer, FacadeAggregatesSchedulerFailuresIntoLegacyMetrics) {

@@ -474,6 +474,61 @@ TEST(Replay, ReproducesAdmissionOrderAndOutcomeCounts) {
   }
 }
 
+TEST(WorkloadTraceSerde, EmptyTraceRoundTripsExactly) {
+  // A recording session that admitted nothing still produces a valid
+  // artifact; it must survive the byte round trip with all-zero
+  // counters, not get rejected as malformed.
+  WorkloadTrace trace;
+  trace.workers = 3;
+  trace.max_microbatch = 2;
+  const std::vector<std::uint8_t> bytes = trace.serialize();
+  const WorkloadTrace back =
+      WorkloadTrace::deserialize(bytes.data(), bytes.size());
+  EXPECT_TRUE(back.records.empty());
+  EXPECT_EQ(back.workers, 3);
+  EXPECT_EQ(back.max_microbatch, 2);
+  EXPECT_EQ(back.submitted, (std::array<std::uint64_t, 3>{}));
+  EXPECT_EQ(back.served, (std::array<std::uint64_t, 3>{}));
+  EXPECT_EQ(back.expired, (std::array<std::uint64_t, 3>{}));
+  EXPECT_EQ(back.rejected, (std::array<std::uint64_t, 3>{}));
+}
+
+TEST(Replay, EmptyTraceChecksCleanWithoutSideEffects) {
+  // Regression: replaying a zero-admission trace used to construct a
+  // scheduler and compare its fresh snapshot against the recorded
+  // counters; now it short-circuits. counts_match must be a definite
+  // true (yoloc_replay --check exits 0), never a comparison against
+  // whatever a just-built snapshot happens to hold.
+  auto plan = make_plan(MacroMvmEngine::Mode::kExactCost);
+  WorkloadTrace trace;
+  trace.workers = 2;
+  trace.max_microbatch = 1;
+
+  SchedulerOptions options;
+  options.workers = 2;
+  ReplayOptions replay;
+  replay.record = true;
+  const ReplayResult result = replay_trace(trace, *plan, options, replay);
+  EXPECT_TRUE(result.counts_match);
+  EXPECT_EQ(result.served, (std::array<std::uint64_t, 3>{}));
+  EXPECT_EQ(result.expired, (std::array<std::uint64_t, 3>{}));
+  EXPECT_EQ(result.rejected, (std::array<std::uint64_t, 3>{}));
+  EXPECT_EQ(result.snapshot.served_requests, 0u);
+  EXPECT_TRUE(result.replayed.records.empty());
+}
+
+TEST(Replay, EmptyTraceWithNonzeroCountersFailsTheCheck) {
+  // The inverse guard: recorded outcomes with no records backing them
+  // can never be reproduced, so --check must fail, not vacuously pass.
+  auto plan = make_plan(MacroMvmEngine::Mode::kExactCost);
+  WorkloadTrace trace;
+  trace.served[static_cast<std::size_t>(Priority::kBatch)] = 1;
+
+  const ReplayResult result =
+      replay_trace(trace, *plan, SchedulerOptions{}, ReplayOptions{});
+  EXPECT_FALSE(result.counts_match);
+}
+
 TEST(Replay, PacedReplayPreservesInterArrivalGaps) {
   auto plan = make_plan(MacroMvmEngine::Mode::kExactCost);
   WorkloadTrace trace;

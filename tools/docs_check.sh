@@ -1,25 +1,34 @@
 #!/usr/bin/env bash
-# docs_check.sh — fail when a metric emitted by the Prometheus
-# exposition is missing from the operator docs.
+# docs_check.sh — fail when the operator docs drift from the code.
 #
-#   tools/docs_check.sh <yoloc_metrics_dump binary> <docs/serving.md>
+#   tools/docs_check.sh <yoloc_metrics_dump> <docs/serving.md> [yoloc_serve]
 #
-# Runs the dump tool (a short real traffic mix against the scheduler),
-# extracts every metric family name from the exposition (stripping the
-# histogram _bucket/_sum/_count series suffixes), and greps the docs page
-# for each. The trace span taxonomy is held to the same contract: every
-# span name the collector can emit (--list-trace-spans) must appear in
-# the docs. Wired as the `docs`-labeled CTest and the `docs-check` CMake
-# target so the docs cannot silently drift from the code.
+# Three contracts, one gate:
+#   * every metric family emitted by the Prometheus exposition (the dump
+#     tool runs a short real traffic mix against the scheduler) must
+#     appear in the docs page, and must carry a # TYPE line;
+#   * every trace span name the collector can emit
+#     (--list-trace-spans) must be documented;
+#   * every HTTP endpoint the serving front-end routes
+#     (yoloc_serve --list-endpoints) must be documented, as `path`.
+# The third argument is optional so older invocations keep working.
+# Wired as the `docs`-labeled CTest and the `docs-check` CMake target.
+#
+# NOTE on pipelines: under `set -o pipefail`, feeding a large here-string
+# into `grep -q` can kill the producer with SIGPIPE (grep -q exits at the
+# first match, closing the pipe early) and fail the whole script with
+# 141 even though the check PASSED. Every exposition probe below
+# therefore greps a temp file instead of a pipe.
 
 set -euo pipefail
 
-if [ $# -ne 2 ]; then
-  echo "usage: docs_check.sh <yoloc_metrics_dump> <docs/serving.md>" >&2
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: docs_check.sh <yoloc_metrics_dump> <docs/serving.md> [yoloc_serve]" >&2
   exit 2
 fi
 bin="$1"
 docs="$2"
+serve_bin="${3:-}"
 
 if [ ! -x "$bin" ]; then
   echo "docs-check: dump binary '$bin' not found/executable" >&2
@@ -29,13 +38,19 @@ if [ ! -f "$docs" ]; then
   echo "docs-check: docs page '$docs' not found" >&2
   exit 2
 fi
+if [ -n "$serve_bin" ] && [ ! -x "$serve_bin" ]; then
+  echo "docs-check: serve binary '$serve_bin' not found/executable" >&2
+  exit 2
+fi
 
-exposition=$("$bin" --seconds=0.05)
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+exposition_file="$workdir/exposition.txt"
+"$bin" --seconds=0.05 > "$exposition_file"
 
 # Family names: token before '{' or ' ' on sample lines, series suffixes
 # folded into their histogram family.
-names=$(printf '%s\n' "$exposition" \
-  | grep -v '^#' \
+names=$(grep -v '^#' "$exposition_file" \
   | sed -e 's/{.*//' -e 's/ .*//' \
   | sed -e 's/_bucket$//' -e 's/_sum$//' -e 's/_count$//' \
   | sort -u)
@@ -55,7 +70,7 @@ done
 
 # Sanity: the exposition must declare a type for every family it emits.
 for name in $names; do
-  if ! printf '%s\n' "$exposition" | grep -q "^# TYPE $name "; then
+  if ! grep -q "^# TYPE $name " "$exposition_file"; then
     echo "docs-check: metric '$name' emitted without a # TYPE line" >&2
     missing=1
   fi
@@ -75,9 +90,26 @@ for span in $spans; do
   fi
 done
 
+# HTTP endpoint coverage: every routed path documented as `path`.
+endpoint_count=0
+if [ -n "$serve_bin" ]; then
+  endpoints=$("$serve_bin" --list-endpoints)
+  if [ -z "$endpoints" ]; then
+    echo "docs-check: --list-endpoints produced no endpoint paths" >&2
+    exit 1
+  fi
+  for endpoint in $endpoints; do
+    if ! grep -q "\`$endpoint\`" "$docs"; then
+      echo "docs-check: HTTP endpoint '$endpoint' is not documented in $docs" >&2
+      missing=1
+    fi
+  done
+  endpoint_count=$(printf '%s\n' "$endpoints" | wc -l)
+fi
+
 if [ "$missing" -ne 0 ]; then
   exit 1
 fi
 count=$(printf '%s\n' "$names" | wc -l)
 span_count=$(printf '%s\n' "$spans" | wc -l)
-echo "docs-check: all $count metric families and $span_count trace spans documented in $docs"
+echo "docs-check: all $count metric families, $span_count trace spans and $endpoint_count HTTP endpoints documented in $docs"

@@ -1,0 +1,161 @@
+// HTTP serving daemon: load a .yolocplan artifact and serve it over the
+// scheduler's HTTP front-end until SIGTERM/SIGINT, then drain gracefully
+// (stop accepting, finish queued lanes by priority, flush, exit).
+//
+//   build/yoloc_serve --plan model.yolocplan --port 8080
+//   build/yoloc_serve --plan model.yolocplan --port 0 --port-file /tmp/port
+//
+// --port 0 binds an ephemeral port; --port-file writes the bound port so
+// harnesses (tests, refresh_bench.sh) can find it without racing.
+// --list-endpoints prints the routed paths one per line, which
+// tools/docs_check.sh diffs against docs/serving.md.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "runtime/plan_serde.hpp"
+#include "serve/http_server.hpp"
+#include "serve/scheduler.hpp"
+
+namespace {
+
+using namespace yoloc;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: yoloc_serve --plan PATH [options]\n"
+      "  --plan PATH             .yolocplan artifact to serve (required)\n"
+      "  --bind ADDR             bind address (default 127.0.0.1)\n"
+      "  --port N                TCP port; 0 = ephemeral (default 0)\n"
+      "  --port-file PATH        write the bound port to PATH\n"
+      "  --workers N             scheduler workers (default: hardware)\n"
+      "  --max-microbatch N      batch fusion cap; 1 = deterministic\n"
+      "  --max-queue-depth N     admission cap per lane; 0 = unlimited\n"
+      "  --default-deadline-ms X deadline for requests without one\n"
+      "  --weighted              DWRR lane weights 8:3:1 instead of strict\n"
+      "  --handler-threads N     HTTP handler pool size (default 4)\n"
+      "  --max-connections N     concurrent connection cap (default 256)\n"
+      "  --read-timeout-ms N     per-connection read deadline\n"
+      "  --write-timeout-ms N    per-connection write deadline\n"
+      "  --list-endpoints        print routed endpoint paths and exit\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string plan_path;
+  std::string port_file;
+  SchedulerOptions sched;
+  HttpServerOptions http;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list-endpoints") {
+      for (const char* endpoint : kHttpEndpoints) {
+        std::printf("%s\n", endpoint);
+      }
+      return 0;
+    }
+    if (arg == "--weighted") {
+      sched.lane_weights = LaneWeights{{8.0, 3.0, 1.0}};
+      continue;
+    }
+    const char* value = next();
+    if (value == nullptr) return usage();
+    if (arg == "--plan") {
+      plan_path = value;
+    } else if (arg == "--bind") {
+      http.bind_address = value;
+    } else if (arg == "--port") {
+      http.port = std::atoi(value);
+    } else if (arg == "--port-file") {
+      port_file = value;
+    } else if (arg == "--workers") {
+      sched.workers = std::atoi(value);
+    } else if (arg == "--max-microbatch") {
+      sched.max_microbatch = std::atoi(value);
+    } else if (arg == "--max-queue-depth") {
+      sched.max_queue_depth =
+          static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--default-deadline-ms") {
+      sched.default_deadline = std::chrono::nanoseconds(
+          static_cast<std::int64_t>(std::atof(value) * 1e6));
+    } else if (arg == "--handler-threads") {
+      http.handler_threads = std::atoi(value);
+    } else if (arg == "--max-connections") {
+      http.max_connections = std::atoi(value);
+    } else if (arg == "--read-timeout-ms") {
+      http.read_timeout = std::chrono::milliseconds(std::atoll(value));
+    } else if (arg == "--write-timeout-ms") {
+      http.write_timeout = std::chrono::milliseconds(std::atoll(value));
+    } else {
+      return usage();
+    }
+  }
+  if (plan_path.empty()) return usage();
+
+  try {
+    auto plan = load_plan(plan_path);
+    Scheduler scheduler(*plan, sched);
+    HttpServer server(scheduler, *plan, http, plan_path);
+
+    if (!port_file.empty()) {
+      // Write-then-rename so a reader never sees a half-written port.
+      const std::string tmp = port_file + ".tmp";
+      std::ofstream out(tmp);
+      out << server.port() << "\n";
+      out.close();
+      if (!out || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+        std::fprintf(stderr, "yoloc_serve: cannot write port file %s\n",
+                     port_file.c_str());
+        return 1;
+      }
+    }
+    std::printf("yoloc_serve: %s on %s:%d (%d workers, %d handler threads, "
+                "%d quantized layers)\n",
+                plan_path.c_str(), http.bind_address.c_str(), server.port(),
+                scheduler.worker_count(), http.handler_threads,
+                plan->quantized_layer_count());
+    std::fflush(stdout);
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    std::printf("yoloc_serve: draining...\n");
+    std::fflush(stdout);
+    server.drain();
+    scheduler.shutdown();
+    const HttpServerStats stats = server.stats();
+    std::printf(
+        "{\"event\":\"shutdown\",\"connections\":%llu,\"requests\":%llu,"
+        "\"responses_2xx\":%llu,\"responses_4xx\":%llu,"
+        "\"responses_5xx\":%llu,\"read_timeouts\":%llu}\n",
+        static_cast<unsigned long long>(stats.connections_accepted),
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.responses_2xx),
+        static_cast<unsigned long long>(stats.responses_4xx),
+        static_cast<unsigned long long>(stats.responses_5xx),
+        static_cast<unsigned long long>(stats.read_timeouts));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "yoloc_serve: %s\n", e.what());
+    return 1;
+  }
+}
