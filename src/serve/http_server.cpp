@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -123,7 +124,9 @@ class JsonParser {
     char* end = nullptr;
     const std::string token = s_.substr(start, pos_ - start);
     out = std::strtod(token.c_str(), &end);
-    return end != nullptr && *end == '\0';
+    // Overflow ("1e999") yields ±HUGE_VAL with a clean end pointer;
+    // non-finite numbers are not JSON and must fail the parse.
+    return end != nullptr && *end == '\0' && std::isfinite(out);
   }
 
   bool string(std::string& out) {
@@ -370,6 +373,17 @@ bool parse_priority(const std::string& name, Priority& out) {
     return false;
   }
   return true;
+}
+
+/// Headers whose semantics break when repeated — a request carrying two
+/// copies (even identical ones) is rejected outright rather than letting
+/// map insertion pick a winner.
+bool is_singleton_header(const std::string& lowercase_name) {
+  static constexpr const char* kSingletons[] = {
+      "content-length", "transfer-encoding", "host", "connection", "expect",
+      "content-type"};
+  return std::any_of(std::begin(kSingletons), std::end(kSingletons),
+                     [&](const char* h) { return lowercase_name == h; });
 }
 
 /// "1,3,16,16" -> four positive extents.
@@ -654,12 +668,11 @@ void HttpServer::loop() {
           }
           if (!c.in.empty()) {
             // A request was underway (slow-loris or stalled body):
-            // tell the client before closing.
+            // tell the client before closing. queue_response makes one
+            // best-effort flush; the write deadline bounds the rest.
             queue_response(c, 408,
                            error_body("timeout", "request read timed out"),
                            "application/json", /*close_after=*/true);
-            // One best-effort flush; the write deadline bounds the rest.
-            on_writable(c);
           } else {
             close_connection(c);  // silent: idle keep-alive expiry
           }
@@ -740,7 +753,7 @@ void HttpServer::on_readable(Connection& c) {
   }
 }
 
-void HttpServer::on_writable(Connection& c) {
+void HttpServer::flush_out(Connection& c) {
   while (c.out_written < c.out.size()) {
     const ssize_t n = ::send(c.fd, c.out.data() + c.out_written,
                              c.out.size() - c.out_written, MSG_NOSIGNAL);
@@ -764,7 +777,14 @@ void HttpServer::on_writable(Connection& c) {
   c.request = ParsedRequest{};
   c.body_needed = 0;
   c.deadline = ServeClock::now() + options_.read_timeout;
-  // Pipelined bytes may already be buffered.
+}
+
+void HttpServer::on_writable(Connection& c) {
+  flush_out(c);
+  // Pipelined bytes may already be buffered. This loop (not recursion
+  // through queue_response) is the only thing that advances the parser
+  // after a flush, so a burst of tiny pipelined requests costs O(1)
+  // stack no matter how many are buffered.
   while (try_parse_and_route(c)) {
   }
 }
@@ -849,7 +869,22 @@ bool HttpServer::try_parse_and_route(Connection& c) {
       value = first == std::string::npos
                   ? std::string{}
                   : value.substr(first, last - first + 1);
-      req.headers[lowercase(line.substr(0, colon))] = std::move(value);
+      std::string name = lowercase(line.substr(0, colon));
+      const auto it = req.headers.find(name);
+      if (it == req.headers.end()) {
+        req.headers.emplace(std::move(name), std::move(value));
+      } else if (is_singleton_header(name)) {
+        // Singleton headers must not repeat: behind a proxy that honors
+        // the first value while we honor the last, conflicting copies
+        // become a request-smuggling vector.
+        queue_response(c, 400,
+                       error_body("bad_request", "duplicate header: " + name),
+                       "application/json", true);
+        return false;
+      } else {
+        // List-valued headers combine per RFC 9110 §5.2.
+        it->second += ", " + value;
+      }
     }
 
     req.keep_alive = version == "HTTP/1.1";
@@ -910,10 +945,12 @@ bool HttpServer::try_parse_and_route(Connection& c) {
     c.body_needed = 0;
     c.keep_alive = req.keep_alive;
     route(c, std::move(req));
-    // route() moved the connection to kHandling or kWrite; only a
-    // fully-written keep-alive response re-enters the parser, and that
-    // happens in on_writable().
-    return false;
+    // route() either parked the connection on the handler pool
+    // (kHandling) or queued + flushed a response. When the flush
+    // completed and re-armed the parser, report progress so the
+    // caller's loop takes another pass over pipelined bytes.
+    return c.fd >= 0 && c.state == Connection::State::kReadHeaders &&
+           !c.in.empty();
   }
   return false;
 }
@@ -1021,7 +1058,11 @@ void HttpServer::queue_response(Connection& c, int status,
       ++stats_.responses_5xx;
     }
   }
-  on_writable(c);  // opportunistic immediate flush
+  // Opportunistic immediate flush only — deliberately NOT on_writable():
+  // its parse loop would re-enter route() -> queue_response() and
+  // recurse one stack frame per pipelined request. Callers that can
+  // have buffered follow-up requests pump the parser iteratively.
+  flush_out(c);
 }
 
 void HttpServer::drain_completions() {
@@ -1042,6 +1083,10 @@ void HttpServer::drain_completions() {
     if (conn == nullptr) continue;  // client went away mid-inference
     queue_response(*conn, done.status, done.body, "application/json",
                    !conn->keep_alive, done.retry_after);
+    // A keep-alive client may have pipelined the next request behind
+    // the /infer body; no further socket event will arrive for it.
+    while (try_parse_and_route(*conn)) {
+    }
   }
 }
 
@@ -1168,8 +1213,26 @@ HttpServer::Completion HttpServer::run_infer(const HandlerJob& job) {
     out.body = error_body("bad_request", "shape must be rank-4 NCHW");
     return out;
   }
+  // Overflow-safe element count: extents are each <= 2^24, so the raw
+  // rank-4 product can reach 2^96 and wrap a size_t into a tiny value
+  // that passes the payload-size check while kernels index the huge
+  // logical shape. Bound the running product by the largest tensor a
+  // legal body could carry and reject before each multiply.
+  const std::size_t max_elements = options_.max_body_bytes / sizeof(float);
   std::size_t elements = 1;
-  for (const int e : shape) elements *= static_cast<std::size_t>(e);
+  for (const int e : shape) {
+    const auto extent = static_cast<std::size_t>(e);
+    if (elements > max_elements / extent) {
+      out.status = 400;
+      out.body = error_body(
+          "bad_request",
+          "shape describes more than " + std::to_string(max_elements) +
+              " elements (body cap " +
+              std::to_string(options_.max_body_bytes) + " bytes)");
+      return out;
+    }
+    elements *= extent;
+  }
   if (elements * sizeof(float) != payload.size()) {
     out.status = 400;
     out.body = error_body(
@@ -1189,6 +1252,14 @@ HttpServer::Completion HttpServer::run_infer(const HandlerJob& job) {
     return out;
   }
   if (have_deadline) {
+    // The double->int64 cast below is UB for non-finite or out-of-range
+    // values (query-string strtod can yield inf on overflow). 9e12 ms is
+    // ~285 years, and 9e12 * 1e6 stays inside int64.
+    if (!std::isfinite(deadline_ms) || std::fabs(deadline_ms) > 9e12) {
+      out.status = 400;
+      out.body = error_body("bad_request", "deadline_ms out of range");
+      return out;
+    }
     // deadline_ms <= 0 submits an already-dead deadline: the scheduler
     // refuses it, which maps to 503 below — the documented contract for
     // "cannot be served in time".

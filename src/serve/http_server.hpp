@@ -142,6 +142,10 @@ class HttpServer {
   void accept_new_connections();
   void on_readable(Connection& c);
   void on_writable(Connection& c);
+  /// Write buffered response bytes; on full flush either closes or
+  /// re-arms the parser. Never re-enters the parser itself — that keeps
+  /// the respond/parse cycle iterative (see on_writable).
+  void flush_out(Connection& c);
   bool try_parse_and_route(Connection& c);
   void route(Connection& c, ParsedRequest req);
   void queue_response(Connection& c, int status, const std::string& body,

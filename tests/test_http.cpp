@@ -427,6 +427,35 @@ TEST(HttpHygiene, MalformedRequestsAreRejectedWithoutCrashing) {
       "/infer",
       "{\"shape\":[1,1,1,1],\"data_b64\":\"AAAAAA==\",\"priority\":\"vip\"}");
   EXPECT_EQ(badprio.status, 400);
+  // Conflicting duplicates of a singleton header are a request-smuggling
+  // vector behind a proxy that honors the other copy: rejected outright.
+  EXPECT_EQ(status_of(raw_exchange(
+                port,
+                "POST /infer HTTP/1.1\r\nContent-Length: 2\r\n"
+                "Content-Length: 0\r\n\r\n{}")),
+            400);
+  // A shape whose element product wraps a 64-bit size_t back to 0 (the
+  // extents pass the per-extent cap; 3 * 2^64 ≡ 0) paired with an empty
+  // payload must be rejected, not allocated tiny and indexed huge.
+  HttpResponse wrapped = client.post(
+      "/infer",
+      "{\"shape\":[4194304,3,2097152,2097152],\"data_b64\":\"\"}");
+  EXPECT_EQ(wrapped.status, 400) << wrapped.body;
+  // deadline_ms outside int64 nanoseconds range: 400, not UB at the cast.
+  HttpResponse huge_dl = client.post(
+      "/infer",
+      "{\"shape\":[1,1,1,1],\"data_b64\":\"AAAAAA==\",\"deadline_ms\":1e308}");
+  EXPECT_EQ(huge_dl.status, 400) << huge_dl.body;
+  // JSON number overflow (strtod -> inf) must fail the parse.
+  HttpResponse inf_dl = client.post(
+      "/infer",
+      "{\"shape\":[1,1,1,1],\"data_b64\":\"AAAAAA==\",\"deadline_ms\":1e999}");
+  EXPECT_EQ(inf_dl.status, 400) << inf_dl.body;
+  // Same overflow via the octet-stream query string.
+  HttpResponse inf_q = client.request(
+      "POST", "/infer?shape=1,1,1,1&deadline_ms=1e999", std::string(4, '\0'),
+      {{"Content-Type", "application/octet-stream"}});
+  EXPECT_EQ(inf_q.status, 400) << inf_q.body;
 
   // After all that abuse the server still serves real traffic, and the
   // only 5xx it ever sent was the deliberate 501 above — nothing
@@ -456,6 +485,48 @@ TEST(HttpHygiene, SlowLorisReaderTimesOutWith408) {
 
   // An idle connection past the deadline is closed silently (no 408).
   EXPECT_TRUE(raw_exchange(server.port(), "").empty());
+}
+
+TEST(HttpHygiene, PipelinedBurstIsServedWithBoundedStack) {
+  auto plan = make_plan(MacroMvmEngine::Mode::kAnalog);
+  SchedulerOptions sched;
+  sched.workers = 1;
+  Scheduler scheduler(*plan, sched);
+  HttpServer server(scheduler, *plan);
+
+  // Hundreds of tiny requests in one write. The respond/parse cycle is
+  // driven by a loop (not queue_response -> on_writable recursion), so
+  // the burst costs O(1) event-loop stack and every request is answered
+  // in order on the one connection.
+  constexpr int kBurst = 500;
+  std::string wire;
+  for (int i = 0; i < kBurst - 1; ++i) wire += "GET /healthz HTTP/1.1\r\n\r\n";
+  wire += "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  const std::string raw = raw_exchange(server.port(), wire);
+  std::size_t answered = 0;
+  for (std::size_t pos = raw.find("HTTP/1.1 200"); pos != std::string::npos;
+       pos = raw.find("HTTP/1.1 200", pos + 1)) {
+    ++answered;
+  }
+  EXPECT_EQ(answered, static_cast<std::size_t>(kBurst));
+  EXPECT_EQ(server.stats().connections_accepted, 1u);
+
+  // A request pipelined behind an /infer body gets no socket event of
+  // its own — the completion path must re-pump the parser after queueing
+  // the inference response.
+  const std::string body = infer_body(make_input(11, {1, 3, 8, 8}));
+  const std::string mixed = raw_exchange(
+      server.port(),
+      "POST /infer HTTP/1.1\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body +
+          "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+  std::size_t mixed_answered = 0;
+  for (std::size_t pos = mixed.find("HTTP/1.1 200"); pos != std::string::npos;
+       pos = mixed.find("HTTP/1.1 200", pos + 1)) {
+    ++mixed_answered;
+  }
+  EXPECT_EQ(mixed_answered, 2u) << mixed.substr(0, 200);
+  EXPECT_NE(mixed.find("\"latency_ms\":"), std::string::npos);
 }
 
 // ------------------------------------------------------ graceful drain
