@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
@@ -34,9 +35,20 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
+/// Optional fault-injection / canary knobs for --save (all off by
+/// default, which keeps the plain `--save PATH` fixture byte-stable at
+/// format version 1).
+struct ArtifactFlags {
+  double stuck_rate = 0.0;  ///< stuck-at-0 AND stuck-at-1 rate (ROM macro)
+  double flip_rate = 0.0;   ///< transient flip rate (SRAM macro)
+  std::uint64_t fault_seed = 1;
+  bool fault_inactive = false;  ///< record faults dormant (chaos drills)
+  int canaries = 0;             ///< golden probes to record into the plan
+};
+
 /// Lower a VGG-8-lite (backbone in ROM, head in SRAM) through the full
 /// deploy pipeline: BN fold -> int8 -> engine selection -> calibration.
-std::unique_ptr<DeploymentPlan> build_plan() {
+std::unique_ptr<DeploymentPlan> build_plan(const ArtifactFlags& flags = {}) {
   ZooConfig zoo;
   zoo.image_size = kImageSize;
   zoo.base_width = 8;
@@ -45,11 +57,27 @@ std::unique_ptr<DeploymentPlan> build_plan() {
   for (Parameter* p : model->parameters()) {
     p->rom_resident = p->name.find("backbone") != std::string::npos;
   }
+  DeploymentOptions options;
+  if (flags.stuck_rate > 0.0) {
+    options.rom_macro.faults.seed = flags.fault_seed;
+    options.rom_macro.faults.stuck_at_zero_rate = flags.stuck_rate;
+    options.rom_macro.faults.stuck_at_one_rate = flags.stuck_rate;
+    options.rom_macro.faults.start_active = !flags.fault_inactive;
+  }
+  if (flags.flip_rate > 0.0) {
+    options.sram_macro.faults.seed = flags.fault_seed;
+    options.sram_macro.faults.transient_flip_rate = flags.flip_rate;
+    options.sram_macro.faults.start_active = !flags.fault_inactive;
+  }
   Rng rng(7);
   Tensor calib =
       Tensor::rand_uniform({8, 3, kImageSize, kImageSize}, rng, 0.0f, 1.0f);
-  return std::make_unique<DeploymentPlan>(std::move(model), calib,
-                                          DeploymentOptions{});
+  auto plan =
+      std::make_unique<DeploymentPlan>(std::move(model), calib, options);
+  if (flags.canaries > 0) {
+    record_canaries(*plan, flags.canaries, {1, 3, kImageSize, kImageSize});
+  }
+  return plan;
 }
 
 void serve_demo(const DeploymentPlan& plan) {
@@ -70,9 +98,9 @@ void serve_demo(const DeploymentPlan& plan) {
       server.total_energy_pj() / static_cast<double>(metrics.images));
 }
 
-int save_artifact(const std::string& path) {
+int save_artifact(const std::string& path, const ArtifactFlags& flags) {
   const auto start = Clock::now();
-  auto plan = build_plan();
+  auto plan = build_plan(flags);
   const double build_ms = ms_since(start);
   const auto parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent);
@@ -138,19 +166,47 @@ int round_trip_demo() {
 
 }  // namespace
 
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: serve_from_plan [--save PATH | --load PATH] [save options]\n"
+      "  --fault-stuck R      stuck-at-0 AND stuck-at-1 rate (ROM macro)\n"
+      "  --fault-flip R       transient flip rate (SRAM macro)\n"
+      "  --fault-seed S       fault-pattern seed (default 1)\n"
+      "  --fault-inactive     record the faults dormant (chaos drills\n"
+      "                       activate them at runtime)\n"
+      "  --canaries N         record N golden canary probes in the plan\n");
+  return 2;
+}
+
 int main(int argc, char** argv) {
   std::string save_path, load_path;
+  ArtifactFlags flags;
   for (int i = 1; i < argc; ++i) {
-    const bool is_save = std::strcmp(argv[i], "--save") == 0;
-    const bool is_load = std::strcmp(argv[i], "--load") == 0;
-    if ((!is_save && !is_load) || i + 1 >= argc) {
-      std::fprintf(stderr,
-                   "usage: serve_from_plan [--save PATH | --load PATH]\n");
-      return 2;
+    const std::string arg = argv[i];
+    if (arg == "--fault-inactive") {
+      flags.fault_inactive = true;
+      continue;
     }
-    (is_save ? save_path : load_path) = argv[++i];
+    if (i + 1 >= argc) return usage();
+    const char* value = argv[++i];
+    if (arg == "--save") {
+      save_path = value;
+    } else if (arg == "--load") {
+      load_path = value;
+    } else if (arg == "--fault-stuck") {
+      flags.stuck_rate = std::atof(value);
+    } else if (arg == "--fault-flip") {
+      flags.flip_rate = std::atof(value);
+    } else if (arg == "--fault-seed") {
+      flags.fault_seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--canaries") {
+      flags.canaries = std::atoi(value);
+    } else {
+      return usage();
+    }
   }
-  if (!save_path.empty()) return save_artifact(save_path);
+  if (!save_path.empty()) return save_artifact(save_path, flags);
   if (!load_path.empty()) return load_and_serve(load_path);
   return round_trip_demo();
 }

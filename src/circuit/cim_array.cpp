@@ -77,6 +77,13 @@ double CimArrayModel::read_count(int exact_count, int active_rows, Rng& rng,
   return code * counts_per_code_;
 }
 
+double CimArrayModel::read_count(int exact_count, int active_rows, Rng& rng,
+                                 ArrayReadStats& stats,
+                                 const AdcDrift& drift) const {
+  return read_count(exact_count, active_rows, rng, stats) * drift.gain +
+         drift.offset_counts;
+}
+
 double CimArrayModel::read_count_ideal(int exact_count,
                                        ArrayReadStats& stats) const {
   const double v = bitline_.voltage_for_count(exact_count);

@@ -47,6 +47,15 @@ struct ArrayReadStats {
   void accumulate(const ArrayReadStats& other);
 };
 
+/// Per-column ADC transfer drift (fault injection, macro/fault_model.*):
+/// the drifted count estimate is estimate * gain + offset_counts,
+/// applied AFTER the canonical read chain so the underlying conversion
+/// (and its stats/energy accounting) is untouched. Identity by default.
+struct AdcDrift {
+  double gain = 1.0;
+  double offset_counts = 0.0;
+};
+
 class CimArrayModel {
  public:
   /// `group_size` is the number of simultaneously activated rows; the ADC
@@ -59,6 +68,14 @@ class CimArrayModel {
   /// conversion + precharge energy into `stats`.
   [[nodiscard]] double read_count(int exact_count, int active_rows, Rng& rng,
                                   ArrayReadStats& stats) const;
+
+  /// read_count() with a drifted ADC transfer applied to the estimate —
+  /// the fault-injection overload. Same draws, same stats; only the
+  /// returned count estimate is transformed. Kept as a separate overload
+  /// so the fault-off call path is literally the function above.
+  [[nodiscard]] double read_count(int exact_count, int active_rows, Rng& rng,
+                                  ArrayReadStats& stats,
+                                  const AdcDrift& drift) const;
 
   /// Ideal (noise-free, but still ADC-quantized) variant.
   [[nodiscard]] double read_count_ideal(int exact_count,

@@ -49,6 +49,11 @@ CimMacro::CimMacro(MacroConfig config)
   // pure function of the exact count. Tabulating it through the real
   // bitline/ADC models keeps the table bit-identical to the legacy path.
   noise_free_ = read_.sigma_cell == 0.0 && read_.noise_sigma_v == 0.0;
+  if (config_.faults.any()) {
+    faults_ = std::make_shared<FaultModel>(
+        config_.faults, static_cast<std::uint64_t>(config_.kind),
+        config_.geometry.rows);
+  }
   for (int c = 0; c <= 128; ++c) {
     const double v =
         array_.bitline().voltage_for_count(static_cast<double>(c));
@@ -113,6 +118,14 @@ void CimMacro::mvm(const std::int8_t* w, int m, int k, const std::uint8_t* x,
     }
   }
 
+  // Fault overlay (nullptr in the common fault-off case: the hot loop
+  // then only pays this one pointer test per call). Coordinates are
+  // local tile coordinates — see macro/fault_model.hpp for why that
+  // keeps this path bit-identical to the packed path under faults.
+  const FaultModel* faults =
+      faults_ != nullptr && faults_->active() ? faults_.get() : nullptr;
+  const bool transients = faults != nullptr && faults->has_transients();
+
   const int groups = (k + g.rows_per_activation - 1) / g.rows_per_activation;
   for (int j = 0; j < m; ++j) {
     // Weight bit-planes for output j: ROM columns store the raw
@@ -125,19 +138,36 @@ void CimMacro::mvm(const std::int8_t* w, int m, int k, const std::uint8_t* x,
         if ((wv >> b) & 1u) wbits[b].set(i);
       }
     }
+    if (faults != nullptr) {
+      for (int b = 0; b < g.weight_bits; ++b) {
+        const FaultModel::PlaneFaults pf = faults->plane(j, b);
+        wbits[b].or_with(pf.force_one);
+        wbits[b].and_not(pf.force_zero);
+      }
+    }
 
     double acc = 0.0;
     for (int b = 0; b < g.weight_bits; ++b) {
       const double bit_weight =
           (b == g.weight_bits - 1) ? -static_cast<double>(1 << b)
                                    : static_cast<double>(1 << b);
+      AdcDrift drift;
+      if (faults != nullptr) drift = faults->adc_drift(j, b);
       for (int t = 0; t < g.input_bits; ++t) {
+        RowMask wb = wbits[b];
+        if (transients) wb.xor_with(faults->transient_flips(j, b, t));
         for (int grp = 0; grp < groups; ++grp) {
           const int lo = grp * g.rows_per_activation;
           const int hi = std::min(k, lo + g.rows_per_activation);
-          const int exact = wbits[b].count_and(xbits[t], lo, hi);
+          const int exact = wb.count_and(xbits[t], lo, hi);
+          // The drift overload multiplies/offsets AFTER the canonical
+          // chain; taking the base overload when fault-off keeps that
+          // path's instruction stream (and FP rounding) untouched.
           const double est =
-              array_.read_count(exact, hi - lo, rng, stats.array);
+              faults != nullptr
+                  ? array_.read_count(exact, hi - lo, rng, stats.array,
+                                      drift)
+                  : array_.read_count(exact, hi - lo, rng, stats.array);
           acc += est * bit_weight * static_cast<double>(1 << t);
         }
       }
@@ -223,6 +253,13 @@ void CimMacro::mvm_packed(const PackedRomWeights& packed, int tile_index,
   const RowMask* gmasks = tile.group_masks.data();
   const CimArrayModel::ReadChainConsts& rc = read_;
 
+  // Fault overlay — same local-coordinate pattern as the legacy path
+  // (the packed tile's rows ARE the legacy chunk's rows), so outputs and
+  // stats stay bit-identical between the two paths under faults.
+  const FaultModel* faults =
+      faults_ != nullptr && faults_->active() ? faults_.get() : nullptr;
+  const bool transients = faults != nullptr && faults->has_transients();
+
   // Energy accumulators chained from the current stats values so the
   // add sequence (and therefore the floating-point rounding) is
   // identical to the legacy per-read += updates.
@@ -239,15 +276,27 @@ void CimMacro::mvm_packed(const PackedRomWeights& packed, int tile_index,
           tile.wbits.data() + static_cast<std::size_t>(j) * weight_bits;
       double acc = 0.0;
       for (int b = 0; b < weight_bits; ++b) {
-        const RowMask wb = wrow[b];
+        RowMask wb = wrow[b];
+        AdcDrift drift;
+        if (faults != nullptr) {
+          const FaultModel::PlaneFaults pf = faults->plane(j, b);
+          wb.or_with(pf.force_one);
+          wb.and_not(pf.force_zero);
+          drift = faults->adc_drift(j, b);
+        }
         for (int t = 0; t < input_bits; ++t) {
+          RowMask wbt = wb;
+          if (transients) wbt.xor_with(faults->transient_flips(j, b, t));
           const RowMask xt = xbits[t];
           const double cycle_weight =
               bcw[static_cast<std::size_t>(b) * input_bits + t];
           for (int grp = 0; grp < groups; ++grp) {
-            const int exact = wb.count_and3(xt, gmasks[grp]);
-            acc += ideal_estimate_[static_cast<std::size_t>(exact)] *
-                   cycle_weight;
+            const int exact = wbt.count_and3(xt, gmasks[grp]);
+            double est = ideal_estimate_[static_cast<std::size_t>(exact)];
+            if (faults != nullptr) {
+              est = est * drift.gain + drift.offset_counts;
+            }
+            acc += est * cycle_weight;
             ++conversions;
             adc_energy += rc.adc_energy_pj;
             precharge_energy +=
@@ -263,13 +312,22 @@ void CimMacro::mvm_packed(const PackedRomWeights& packed, int tile_index,
           tile.wbits.data() + static_cast<std::size_t>(j) * weight_bits;
       double acc = 0.0;
       for (int b = 0; b < weight_bits; ++b) {
-        const RowMask wb = wrow[b];
+        RowMask wb = wrow[b];
+        AdcDrift drift;
+        if (faults != nullptr) {
+          const FaultModel::PlaneFaults pf = faults->plane(j, b);
+          wb.or_with(pf.force_one);
+          wb.and_not(pf.force_zero);
+          drift = faults->adc_drift(j, b);
+        }
         for (int t = 0; t < input_bits; ++t) {
+          RowMask wbt = wb;
+          if (transients) wbt.xor_with(faults->transient_flips(j, b, t));
           const RowMask xt = xbits[t];
           const double cycle_weight =
               bcw[static_cast<std::size_t>(b) * input_bits + t];
           for (int grp = 0; grp < groups; ++grp) {
-            const int exact = wb.count_and3(xt, gmasks[grp]);
+            const int exact = wbt.count_and3(xt, gmasks[grp]);
             // Inlined CimArrayModel::read_count — identical operations
             // in identical order, same RNG draws.
             double effective = exact;
@@ -286,7 +344,11 @@ void CimMacro::mvm_packed(const PackedRomWeights& packed, int tile_index,
             int code =
                 static_cast<int>(std::lround((rc.v_hi - clamped) / rc.lsb));
             code = std::clamp(code, 0, rc.levels - 1);
-            acc += (code * rc.counts_per_code) * cycle_weight;
+            double est = code * rc.counts_per_code;
+            if (faults != nullptr) {
+              est = est * drift.gain + drift.offset_counts;
+            }
+            acc += est * cycle_weight;
             ++conversions;
             adc_energy += rc.adc_energy_pj;
             const double dv =

@@ -33,8 +33,10 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "macro/fault_model.hpp"
 #include "macro/macro_config.hpp"
 #include "macro/packed_weights.hpp"
 
@@ -91,6 +93,12 @@ class CimMacro {
   /// noise_sigma_v == 0): the packed path then runs draw-free.
   [[nodiscard]] bool noise_free() const { return noise_free_; }
 
+  /// The macro's fault model, or nullptr when config().faults.any() is
+  /// false (the common case — no model is constructed at all). The
+  /// pointer is stable for the macro's lifetime; copies of the macro
+  /// share one model, so toggling set_active() reaches every copy.
+  [[nodiscard]] FaultModel* fault_model() const { return faults_.get(); }
+
   /// Latency of a single full bit-serial pass (Table I "inference time"):
   /// input_bits serial cycles at the macro clock.
   [[nodiscard]] double single_pass_latency_ns() const;
@@ -110,6 +118,10 @@ class CimMacro {
 
   MacroConfig config_;
   CimArrayModel array_;
+  /// Constructed only when config_.faults.any(); shared so macro copies
+  /// see one active flag. Both mvm paths hoist ONE null/active check per
+  /// call — the fault-off instruction stream is otherwise unchanged.
+  std::shared_ptr<FaultModel> faults_;
 
   // Analog read chain constants, derived by CimArrayModel (next to the
   // canonical read_count they mirror) and cached here for the inlined

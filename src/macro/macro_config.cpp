@@ -49,6 +49,16 @@ void MacroConfig::validate() const {
               "macro config: negative write/standby costs");
   YOLOC_CHECK(writable() || write_bandwidth_bits_per_ns == 0.0,
               "macro config: ROM macros cannot have a write port");
+  for (const double rate : {faults.stuck_at_zero_rate,
+                            faults.stuck_at_one_rate,
+                            faults.transient_flip_rate}) {
+    YOLOC_CHECK(rate >= 0.0 && rate <= 1.0,
+                "macro config: fault rate out of [0, 1]");
+  }
+  YOLOC_CHECK(faults.adc_offset_max >= 0.0 && faults.adc_gain_max >= 0.0,
+              "macro config: negative ADC drift bound");
+  YOLOC_CHECK(faults.adc_gain_max < 1.0,
+              "macro config: ADC gain drift must stay below 100%");
 }
 
 double MacroConfig::area_mm2() const {

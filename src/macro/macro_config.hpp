@@ -11,6 +11,8 @@
 // full-scale tracks the group discharge range (see circuit/cim_array.hpp
 // for the accuracy implications of large groups).
 
+#include <cstdint>
+
 #include "circuit/adc.hpp"
 #include "circuit/bitline.hpp"
 #include "circuit/cim_array.hpp"
@@ -18,6 +20,46 @@
 namespace yoloc {
 
 enum class MacroKind { kRom, kSram };
+
+/// Deterministic fault-injection knobs for one macro (see
+/// macro/fault_model.hpp for the mechanics). All-zero rates (the
+/// default) mean NO fault model is constructed at all — the fault-off
+/// MVM paths stay bit-identical to a build without this struct.
+///
+/// Faults live in the physical subarray the engine time-multiplexes
+/// reduction tiles onto, so coordinates are LOCAL tile coordinates
+/// (output column j, weight bit b, row i, input cycle t) — the same
+/// cell pattern afflicts every k-tile, every call, every replay.
+struct FaultModelConfig {
+  /// Seed of the fault pattern. Two macros with the same seed, kind and
+  /// rates carry identical fault maps; changing the seed redraws them.
+  std::uint64_t seed = 0;
+  /// Per-cell probability that a ROM bit-plane cell reads as 0 / as 1
+  /// regardless of the stored weight bit (stuck-at faults).
+  double stuck_at_zero_rate = 0.0;
+  double stuck_at_one_rate = 0.0;
+  /// Per-(cell, input-cycle) probability of a residual bit flip — the
+  /// SRAM transient model. The pattern is a fixed function of
+  /// (column, bit, cycle, row), so replays stay bit-exact.
+  double transient_flip_rate = 0.0;
+  /// Per-column ADC transfer drift: offset uniform in +-offset counts,
+  /// gain uniform in 1 +- gain (relative). Drawn once per (j, b) column.
+  double adc_offset_max = 0.0;
+  double adc_gain_max = 0.0;
+  /// Whether the faults apply from construction. Runtime-togglable via
+  /// FaultModel::set_active() (chaos drills flip it mid-traffic).
+  bool start_active = true;
+
+  /// True when any knob would actually perturb a read — the gate for
+  /// constructing a FaultModel at all.
+  [[nodiscard]] bool any() const {
+    return stuck_at_zero_rate > 0.0 || stuck_at_one_rate > 0.0 ||
+           transient_flip_rate > 0.0 || adc_offset_max > 0.0 ||
+           adc_gain_max > 0.0;
+  }
+
+  bool operator==(const FaultModelConfig&) const = default;
+};
 
 struct MacroGeometry {
   int rows = 128;
@@ -66,6 +108,8 @@ struct MacroConfig {
   double write_bandwidth_bits_per_ns = 0.0;
   /// Leakage of the retained array [uW] (ROM: 0, non-volatile).
   double standby_power_uw = 0.0;
+  /// Deterministic fault injection (all-zero = no model constructed).
+  FaultModelConfig faults;
 
   [[nodiscard]] bool writable() const { return kind == MacroKind::kSram; }
 

@@ -73,6 +73,20 @@ struct RowMask {
   [[nodiscard]] int count() const {
     return std::popcount(lane[0]) + std::popcount(lane[1]);
   }
+
+  // Lane-wise mask combinators (fault overlays in cim_macro.cpp).
+  void or_with(const RowMask& m) {
+    lane[0] |= m.lane[0];
+    lane[1] |= m.lane[1];
+  }
+  void and_not(const RowMask& m) {
+    lane[0] &= ~m.lane[0];
+    lane[1] &= ~m.lane[1];
+  }
+  void xor_with(const RowMask& m) {
+    lane[0] ^= m.lane[0];
+    lane[1] ^= m.lane[1];
+  }
 };
 
 /// Immutable compute-native layout of one weight matrix for one macro

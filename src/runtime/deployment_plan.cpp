@@ -127,6 +127,40 @@ int DeploymentPlan::lower_network(Layer& node) {
   return replaced;
 }
 
+void record_canaries(DeploymentPlan& plan, int count,
+                     const std::vector<int>& input_shape,
+                     std::uint64_t base_seed) {
+  YOLOC_CHECK(count >= 1 && count <= 64,
+              "record_canaries: count out of [1, 64]");
+  YOLOC_CHECK(!input_shape.empty() && input_shape[0] == 1,
+              "record_canaries: probe inputs must be single-image (N == 1)");
+  // Goldens define "healthy": mask any injected faults for the duration
+  // of the recording, then restore the caller's fault state.
+  FaultModel* fm[] = {plan.rom_macro().fault_model(),
+                      plan.sram_macro().fault_model()};
+  bool was_active[] = {false, false};
+  for (int i = 0; i < 2; ++i) {
+    if (fm[i] == nullptr) continue;
+    was_active[i] = fm[i]->active();
+    fm[i]->set_active(false);
+  }
+  CanarySuite suite;
+  suite.probes.reserve(static_cast<std::size_t>(count));
+  for (int p = 0; p < count; ++p) {
+    CanaryProbe probe;
+    probe.seed = base_seed + static_cast<std::uint64_t>(p);
+    Rng input_rng(probe.seed ^ 0xCA9A41ull);
+    probe.input = Tensor::rand_uniform(input_shape, input_rng, 0.0f, 1.0f);
+    ExecutionContext ctx(plan, probe.seed);
+    probe.golden = ctx.infer(probe.input);
+    suite.probes.push_back(std::move(probe));
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (fm[i] != nullptr) fm[i]->set_active(was_active[i]);
+  }
+  plan.set_canaries(std::move(suite));
+}
+
 Tensor DeploymentPlan::execute(const Tensor& images,
                                ExecutionContext& ctx) const {
   YOLOC_CHECK(ctx.plan_ == this, "deployment plan: foreign context");

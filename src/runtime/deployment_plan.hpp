@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/macro_engine.hpp"
 #include "nn/container.hpp"
@@ -26,6 +27,23 @@
 namespace yoloc {
 
 class ExecutionContext;
+
+/// One canary probe: a fixed input plus the golden logits a HEALTHY
+/// deployment produces for it under `seed` (recorded at plan build time,
+/// before any fault is injected). Serving replays the probe on a worker's
+/// context with the same seed; any float deviation from `golden` means
+/// the worker's compute path is corrupted.
+struct CanaryProbe {
+  std::uint64_t seed = 0;
+  Tensor input;
+  Tensor golden;
+};
+
+/// The plan's canary probes (optional CANARY section of a .yolocplan).
+struct CanarySuite {
+  std::vector<CanaryProbe> probes;
+  [[nodiscard]] bool empty() const { return probes.empty(); }
+};
 
 struct DeploymentOptions {
   MacroConfig rom_macro;
@@ -107,6 +125,11 @@ class DeploymentPlan {
   /// Mutating it while contexts are executing is undefined.
   [[nodiscard]] Layer& model() { return *model_; }
 
+  /// Canary probes shipped with the plan (empty unless recorded or
+  /// loaded from an artifact that carries a CANARY section).
+  [[nodiscard]] const CanarySuite& canaries() const { return canaries_; }
+  void set_canaries(CanarySuite canaries) { canaries_ = std::move(canaries); }
+
  private:
   /// Recursive conv/linear replacement with per-layer engine selection.
   int lower_network(Layer& node);
@@ -124,6 +147,16 @@ class DeploymentPlan {
   LayerPtr model_;
   int quantized_layers_ = 0;
   double pack_ms_ = 0.0;
+  CanarySuite canaries_;
 };
+
+/// Record `count` canary probes into `plan`: deterministic inputs of
+/// `input_shape` (seeded from `base_seed`), each run through a fresh
+/// ExecutionContext to capture the golden logits. Must run while the
+/// plan's fault models (if any) are INACTIVE — the goldens define
+/// "healthy". Replaces any previously recorded suite.
+void record_canaries(DeploymentPlan& plan, int count,
+                     const std::vector<int>& input_shape,
+                     std::uint64_t base_seed = 9001);
 
 }  // namespace yoloc

@@ -21,12 +21,15 @@ namespace {
 constexpr std::uint8_t kMagic[8] = {'Y', 'O', 'L', 'O', 'C', 'P', 'L', 'N'};
 constexpr std::uint32_t kSectionOptions = 1;
 constexpr std::uint32_t kSectionGraph = 2;
+constexpr std::uint32_t kSectionCanary = 3;
 constexpr std::size_t kTableEntryBytes = 4 + 8 + 8 + 4;
 constexpr int kMaxGraphDepth = 64;
+constexpr int kMaxCanaryProbes = 64;
 
 // ------------------------------------------------------------- options
 
-void write_macro_config(ByteWriter& w, const MacroConfig& cfg) {
+void write_macro_config(ByteWriter& w, const MacroConfig& cfg,
+                        std::uint32_t version) {
   w.u32(static_cast<std::uint32_t>(cfg.kind));
   const auto& g = cfg.geometry;
   w.i32(g.rows);
@@ -61,9 +64,18 @@ void write_macro_config(ByteWriter& w, const MacroConfig& cfg) {
   w.f64(cfg.write_energy_pj_per_bit);
   w.f64(cfg.write_bandwidth_bits_per_ns);
   w.f64(cfg.standby_power_uw);
+  if (version >= 2) {
+    w.u64(cfg.faults.seed);
+    w.f64(cfg.faults.stuck_at_zero_rate);
+    w.f64(cfg.faults.stuck_at_one_rate);
+    w.f64(cfg.faults.transient_flip_rate);
+    w.f64(cfg.faults.adc_offset_max);
+    w.f64(cfg.faults.adc_gain_max);
+    w.u32(cfg.faults.start_active ? 1 : 0);
+  }
 }
 
-MacroConfig read_macro_config(ByteReader& r) {
+MacroConfig read_macro_config(ByteReader& r, std::uint32_t version) {
   MacroConfig cfg;
   const std::uint32_t kind = r.u32();
   YOLOC_CHECK(kind <= static_cast<std::uint32_t>(MacroKind::kSram),
@@ -102,6 +114,17 @@ MacroConfig read_macro_config(ByteReader& r) {
   cfg.write_energy_pj_per_bit = r.f64();
   cfg.write_bandwidth_bits_per_ns = r.f64();
   cfg.standby_power_uw = r.f64();
+  if (version >= 2) {
+    cfg.faults.seed = r.u64();
+    cfg.faults.stuck_at_zero_rate = r.f64();
+    cfg.faults.stuck_at_one_rate = r.f64();
+    cfg.faults.transient_flip_rate = r.f64();
+    cfg.faults.adc_offset_max = r.f64();
+    cfg.faults.adc_gain_max = r.f64();
+    const std::uint32_t active = r.u32();
+    YOLOC_CHECK(active <= 1, "plan: bad fault start_active flag");
+    cfg.faults.start_active = active == 1;
+  }
   return cfg;
 }
 
@@ -110,17 +133,18 @@ struct OptionsSection {
   int quantized_layers = 0;
 };
 
-void write_options(ByteWriter& w, const DeploymentPlan& plan) {
+void write_options(ByteWriter& w, const DeploymentPlan& plan,
+                   std::uint32_t version) {
   const DeploymentOptions& o = plan.options();
   w.i32(o.weight_bits);
   w.i32(o.act_bits);
   w.u32(static_cast<std::uint32_t>(o.mode));
   w.i32(plan.quantized_layer_count());
-  write_macro_config(w, o.rom_macro);
-  write_macro_config(w, o.sram_macro);
+  write_macro_config(w, o.rom_macro, version);
+  write_macro_config(w, o.sram_macro, version);
 }
 
-OptionsSection read_options(ByteReader& r) {
+OptionsSection read_options(ByteReader& r, std::uint32_t version) {
   OptionsSection s;
   s.options.weight_bits = r.i32();
   s.options.act_bits = r.i32();
@@ -130,9 +154,38 @@ OptionsSection read_options(ByteReader& r) {
       "plan: unknown engine mode");
   s.options.mode = static_cast<MacroMvmEngine::Mode>(mode);
   s.quantized_layers = r.i32();
-  s.options.rom_macro = read_macro_config(r);
-  s.options.sram_macro = read_macro_config(r);
+  s.options.rom_macro = read_macro_config(r, version);
+  s.options.sram_macro = read_macro_config(r, version);
   return s;
+}
+
+// ------------------------------------------------------------- canaries
+
+void write_canaries(ByteWriter& w, const CanarySuite& suite) {
+  w.u32(static_cast<std::uint32_t>(suite.probes.size()));
+  for (const CanaryProbe& p : suite.probes) {
+    w.u64(p.seed);
+    write_tensor(w, p.input);
+    write_tensor(w, p.golden);
+  }
+}
+
+CanarySuite read_canaries(ByteReader& r) {
+  CanarySuite suite;
+  const std::uint32_t n = r.u32();
+  YOLOC_CHECK(n >= 1 && n <= kMaxCanaryProbes,
+              "plan: bad canary probe count");
+  suite.probes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    CanaryProbe p;
+    p.seed = r.u64();
+    p.input = read_tensor(r);
+    p.golden = read_tensor(r);
+    YOLOC_CHECK(!p.input.empty() && !p.golden.empty(),
+                "plan: empty canary tensor");
+    suite.probes.push_back(std::move(p));
+  }
+  return suite;
 }
 
 // --------------------------------------------------------------- graph
@@ -339,10 +392,11 @@ struct Section {
   std::vector<std::uint8_t> payload;
 };
 
-std::vector<std::uint8_t> assemble(const std::vector<Section>& sections) {
+std::vector<std::uint8_t> assemble(const std::vector<Section>& sections,
+                                   std::uint32_t version) {
   ByteWriter out;
   out.bytes(kMagic, sizeof(kMagic));
-  out.u32(kPlanFormatVersion);
+  out.u32(version);
   out.u32(static_cast<std::uint32_t>(sections.size()));
   std::uint64_t offset = sizeof(kMagic) + 4 + 4 +
                          sections.size() * kTableEntryBytes;
@@ -367,6 +421,8 @@ const char* plan_section_name(std::uint32_t id) {
       return "OPTIONS";
     case kSectionGraph:
       return "GRAPH";
+    case kSectionCanary:
+      return "CANARY";
     default:
       return "unknown";
   }
@@ -384,7 +440,8 @@ PlanArtifactInfo inspect_plan(const std::uint8_t* data, std::size_t size) {
   PlanArtifactInfo info;
   info.file_bytes = size;
   info.version = header.u32();
-  YOLOC_CHECK(info.version == kPlanFormatVersion,
+  YOLOC_CHECK(info.version >= kPlanFormatMinVersion &&
+                  info.version <= kPlanFormatVersion,
               "plan: unsupported format version");
   const std::uint32_t nsec = header.u32();
   YOLOC_CHECK(nsec >= 1 && nsec <= 64, "plan: bad section count");
@@ -419,8 +476,16 @@ PlanArtifactInfo inspect_plan_file(const std::string& path) {
 }
 
 std::vector<std::uint8_t> serialize_plan(const DeploymentPlan& plan) {
+  // Version-adaptive: plans using no v2 feature serialize as version 1,
+  // byte-identical to pre-fault-framework artifacts (pinned by the serde
+  // golden fixture).
+  const bool v2 = plan.options().rom_macro.faults.any() ||
+                  plan.options().sram_macro.faults.any() ||
+                  !plan.canaries().empty();
+  const std::uint32_t version = v2 ? 2 : 1;
+
   ByteWriter options;
-  write_options(options, plan);
+  write_options(options, plan, version);
 
   // The graph walk only reads (getters + children); model() is non-const
   // purely to keep shared holders of a const plan& from mutating it.
@@ -430,7 +495,12 @@ std::vector<std::uint8_t> serialize_plan(const DeploymentPlan& plan) {
   std::vector<Section> sections;
   sections.push_back({kSectionOptions, options.take()});
   sections.push_back({kSectionGraph, graph.take()});
-  return assemble(sections);
+  if (!plan.canaries().empty()) {
+    ByteWriter canary;
+    write_canaries(canary, plan.canaries());
+    sections.push_back({kSectionCanary, canary.take()});
+  }
+  return assemble(sections, version);
 }
 
 std::unique_ptr<DeploymentPlan> deserialize_plan(const std::uint8_t* data,
@@ -443,7 +513,8 @@ std::unique_ptr<DeploymentPlan> deserialize_plan(const std::uint8_t* data,
   std::uint8_t magic_skip[sizeof(kMagic)];
   header.bytes(magic_skip, sizeof(kMagic));
   const std::uint32_t version = header.u32();
-  YOLOC_CHECK(version == kPlanFormatVersion,
+  YOLOC_CHECK(version >= kPlanFormatMinVersion &&
+                  version <= kPlanFormatVersion,
               "plan: unsupported format version");
   const std::uint32_t nsec = header.u32();
   YOLOC_CHECK(nsec >= 1 && nsec <= 64, "plan: bad section count");
@@ -476,13 +547,17 @@ std::unique_ptr<DeploymentPlan> deserialize_plan(const std::uint8_t* data,
   // (catches concatenation/append corruption the CRCs cannot see).
   YOLOC_CHECK(payload_end == size, "plan: trailing bytes after sections");
 
-  auto find = [&](std::uint32_t id) -> const Entry& {
+  auto find_optional = [&](std::uint32_t id) -> const Entry* {
     const Entry* found = nullptr;
     for (const Entry& e : entries) {
       if (e.id != id) continue;
       YOLOC_CHECK(found == nullptr, "plan: duplicate section");
       found = &e;
     }
+    return found;
+  };
+  auto find = [&](std::uint32_t id) -> const Entry& {
+    const Entry* found = find_optional(id);
     YOLOC_CHECK(found != nullptr, "plan: missing required section");
     return *found;
   };
@@ -494,7 +569,7 @@ std::unique_ptr<DeploymentPlan> deserialize_plan(const std::uint8_t* data,
   };
 
   ByteReader options_r = checked_reader(find(kSectionOptions));
-  OptionsSection opts = read_options(options_r);
+  OptionsSection opts = read_options(options_r, version);
   options_r.expect_exhausted("plan options section");
 
   ByteReader graph_r = checked_reader(find(kSectionGraph));
@@ -503,8 +578,18 @@ std::unique_ptr<DeploymentPlan> deserialize_plan(const std::uint8_t* data,
   graph_r.expect_exhausted("plan graph section");
   image.quantized_layers = opts.quantized_layers;
 
-  return std::make_unique<DeploymentPlan>(std::move(image),
-                                          std::move(opts.options));
+  CanarySuite canaries;
+  if (const Entry* e = find_optional(kSectionCanary); e != nullptr) {
+    YOLOC_CHECK(version >= 2, "plan: CANARY section in a version-1 artifact");
+    ByteReader canary_r = checked_reader(*e);
+    canaries = read_canaries(canary_r);
+    canary_r.expect_exhausted("plan canary section");
+  }
+
+  auto plan = std::make_unique<DeploymentPlan>(std::move(image),
+                                               std::move(opts.options));
+  plan->set_canaries(std::move(canaries));
+  return plan;
 }
 
 void save_plan(const DeploymentPlan& plan, const std::string& path) {

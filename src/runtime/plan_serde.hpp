@@ -12,7 +12,7 @@
 // File layout (all integers little-endian, see common/binio.hpp):
 //
 //   magic   "YOLOCPLN"                      8 bytes
-//   version u32                             format revision (currently 1)
+//   version u32                             format revision (1 or 2)
 //   nsec    u32                             section count
 //   table   nsec x { id u32, offset u64, size u64, crc32 u32 }
 //   payloads                                section bytes at their offsets
@@ -20,10 +20,20 @@
 // Sections (ids are stable; unknown ids are rejected):
 //   1 OPTIONS  DeploymentOptions — bit widths, engine mode, both
 //              MacroConfigs field-by-field — plus the quantized-layer
-//              count used as a load-time integrity cross-check.
+//              count used as a load-time integrity cross-check. Version 2
+//              appends each macro's FaultModelConfig (seed, stuck-at /
+//              flip rates, ADC drift bounds, start_active).
 //   2 GRAPH    the lowered layer tree, preorder: LayerKind tag + per-kind
 //              payload (quantized weights, scales, biases, calibrated
 //              activation ranges, container topology).
+//   3 CANARY   (version 2, optional) canary probes: per probe the noise
+//              seed, the fixed input tensor and the golden logits a
+//              healthy deployment produces for it.
+//
+// The writer is version-adaptive: a plan with no fault config and no
+// canaries serializes as version 1, byte-identical to pre-fault-framework
+// artifacts; only plans using the new features pay the version bump.
+// The loader accepts both versions.
 //
 // Every section carries a CRC-32; load refuses bad magic, unknown
 // versions, out-of-bounds section tables, checksum mismatches and
@@ -40,8 +50,11 @@
 
 namespace yoloc {
 
-/// Format revision written by serialize_plan / accepted by deserialize.
-inline constexpr std::uint32_t kPlanFormatVersion = 1;
+/// Newest format revision serialize_plan can write; the loader accepts
+/// [kPlanFormatMinVersion, kPlanFormatVersion]. The writer emits the
+/// OLDEST version that can represent the plan (see header comment).
+inline constexpr std::uint32_t kPlanFormatVersion = 2;
+inline constexpr std::uint32_t kPlanFormatMinVersion = 1;
 /// Canonical artifact extension.
 inline constexpr const char* kPlanFileExtension = ".yolocplan";
 

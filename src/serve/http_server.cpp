@@ -531,8 +531,18 @@ HttpServer::~HttpServer() { drain(); }
 
 void HttpServer::wake() {
   const char b = 1;
-  // Best-effort: a full pipe already guarantees a pending wakeup.
-  (void)!::write(wake_write_fd_, &b, 1);
+  for (;;) {
+    const ssize_t n = ::write(wake_write_fd_, &b, 1);
+    if (n == 1) return;
+    if (n < 0 && errno == EINTR) continue;  // signal landed mid-write
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Pipe full: a wakeup is already pending, so nothing is lost —
+      // but count it, a climbing rate means the loop is falling behind.
+      std::lock_guard lock(stats_mutex_);
+      stats_.wake_overflows += 1;
+    }
+    return;
+  }
 }
 
 void HttpServer::drain() {
@@ -627,7 +637,11 @@ void HttpServer::loop() {
 
     if (fds[wake_slot].revents & POLLIN) {
       char buf[256];
-      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      for (;;) {
+        const ssize_t n = ::read(wake_read_fd_, buf, sizeof(buf));
+        if (n > 0) continue;
+        if (n < 0 && errno == EINTR) continue;  // retry, keep draining
+        break;  // EAGAIN: fully drained (the pipe is non-blocking)
       }
     }
     drain_completions();
@@ -1001,10 +1015,25 @@ void HttpServer::route(Connection& c, ParsedRequest req) {
                      !c.keep_alive, /*retry_after=*/true);
     } else if (scheduler_.worker_count() >= 1 &&
                plan_.quantized_layer_count() >= 1) {
-      queue_response(c, 200,
-                     "{\"status\":\"ok\",\"workers\":" +
-                         std::to_string(scheduler_.worker_count()) + "}",
-                     "application/json", !c.keep_alive);
+      const ResilienceSnapshot res = scheduler_.resilience_snapshot();
+      if (res.degraded) {
+        // Still ready — interactive traffic is served through the
+        // healthy workers — but operators should know capacity is down.
+        queue_response(c, 200,
+                       "{\"status\":\"degraded\",\"workers\":" +
+                           std::to_string(scheduler_.worker_count()) +
+                           ",\"healthy_workers\":" +
+                           std::to_string(res.healthy_workers) +
+                           ",\"reason\":\"" +
+                           prometheus_escape_label(res.degraded_reason) +
+                           "\"}",
+                       "application/json", !c.keep_alive);
+      } else {
+        queue_response(c, 200,
+                       "{\"status\":\"ok\",\"workers\":" +
+                           std::to_string(scheduler_.worker_count()) + "}",
+                       "application/json", !c.keep_alive);
+      }
     } else {
       queue_response(c, 503, "{\"status\":\"unavailable\"}",
                      "application/json", !c.keep_alive, /*retry_after=*/true);
@@ -1308,10 +1337,20 @@ HttpServer::Completion HttpServer::run_infer(const HandlerJob& job) {
     out.status = 503;
     out.retry_after = true;
     out.body = error_body("deadline_expired", e.what());
+  } catch (const ShedError& e) {
+    out.status = 503;
+    out.retry_after = true;
+    out.body = error_body("shed", e.what());
   } catch (const AdmissionError& e) {
     out.status = 503;
     out.retry_after = true;
     out.body = error_body("admission", e.what());
+  } catch (const WorkerHungError& e) {
+    // The batch was abandoned on a hung worker; the request is safe to
+    // retry — a healthy worker will pick it up.
+    out.status = 503;
+    out.retry_after = true;
+    out.body = error_body("worker_hung", e.what());
   } catch (const std::exception& e) {
     out.status = 500;
     out.body = error_body("execution", e.what());

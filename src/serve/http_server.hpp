@@ -95,6 +95,9 @@ struct HttpServerStats {
   std::uint64_t responses_5xx = 0;
   std::uint64_t read_timeouts = 0;
   std::uint64_t write_timeouts = 0;
+  /// Self-pipe wakeups coalesced because the pipe was already full — a
+  /// pending wakeup covers them, so this counts pressure, not loss.
+  std::uint64_t wake_overflows = 0;
 };
 
 class HttpServer {

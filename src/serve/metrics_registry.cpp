@@ -317,13 +317,76 @@ std::string MetricsSnapshot::to_prometheus() const {
           classes[static_cast<std::size_t>(c)].*hist.field);
     }
   }
+
+  // Resilience families: always exported (zeros / fully-healthy when the
+  // resilience layer is disabled) so dashboards never see a family
+  // appear mid-flight.
+  append_prom_header(out, "yoloc_resilience_healthy_workers", "gauge",
+                     "Workers currently taking traffic (breaker closed, "
+                     "not quarantined).");
+  append_prom_value(out, "yoloc_resilience_healthy_workers",
+                    resilience.healthy_workers);
+
+  append_prom_header(out, "yoloc_resilience_breaker_open_workers", "gauge",
+                     "Workers with an open canary circuit breaker.");
+  append_prom_value(out, "yoloc_resilience_breaker_open_workers",
+                    resilience.breaker_open_workers);
+
+  append_prom_header(out, "yoloc_resilience_quarantined_workers", "gauge",
+                     "Workers quarantined by the watchdog.");
+  append_prom_value(out, "yoloc_resilience_quarantined_workers",
+                    resilience.quarantined_workers);
+
+  struct ResilienceCounter {
+    const char* name;
+    const char* help;
+    std::uint64_t ResilienceSnapshot::* field;
+  };
+  static constexpr ResilienceCounter kResilienceCounters[] = {
+      {"yoloc_resilience_canary_pass_total",
+       "Canary probes whose output matched the golden logits.",
+       &ResilienceSnapshot::canary_pass},
+      {"yoloc_resilience_canary_fail_total",
+       "Canary probes whose output diverged from the golden logits.",
+       &ResilienceSnapshot::canary_fail},
+      {"yoloc_resilience_watchdog_fires_total",
+       "Batches declared hung by the watchdog (requests failed, worker "
+       "quarantined).",
+       &ResilienceSnapshot::watchdog_fires},
+      {"yoloc_resilience_breaker_trips_total",
+       "Circuit-breaker open transitions across all workers.",
+       &ResilienceSnapshot::breaker_trips},
+      {"yoloc_resilience_breaker_recoveries_total",
+       "Circuit-breaker close transitions across all workers.",
+       &ResilienceSnapshot::breaker_recoveries},
+  };
+  for (const ResilienceCounter& counter : kResilienceCounters) {
+    append_prom_header(out, counter.name, "counter", counter.help);
+    append_prom_counter(out, counter.name, resilience.*counter.field);
+  }
+
+  append_prom_header(out, "yoloc_resilience_shed_requests_total", "counter",
+                     "Admissions refused by degraded-mode load shedding "
+                     "per lane.");
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    append_prom_lane_counter(
+        out, "yoloc_resilience_shed_requests_total",
+        priority_name(static_cast<Priority>(c)),
+        resilience.shed_requests[static_cast<std::size_t>(c)]);
+  }
+
+  append_prom_header(out, "yoloc_resilience_degraded", "gauge",
+                     "1 when any worker is unhealthy (see /healthz for "
+                     "the reason).");
+  append_prom_value(out, "yoloc_resilience_degraded",
+                    resilience.degraded ? 1.0 : 0.0);
   return out;
 }
 
 std::string MetricsSnapshot::to_json() const {
   std::string out;
   out.reserve(1024);
-  char buf[320];
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "{\"uptime_s\":%.3f,\"workers\":%d,\"batches\":%llu,"
@@ -357,6 +420,34 @@ std::string MetricsSnapshot::to_json() const {
     out += ',';
     append_latency_json(out, "expired_wait_ms", cs.expired_wait);
     out += '}';
+  }
+  out += "},\"resilience\":{";
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"healthy_workers\":%d,\"breaker_open_workers\":%d,"
+      "\"quarantined_workers\":%d,\"canary_pass\":%llu,"
+      "\"canary_fail\":%llu,\"watchdog_fires\":%llu,"
+      "\"breaker_trips\":%llu,\"breaker_recoveries\":%llu,"
+      "\"shed\":{\"interactive\":%llu,\"batch\":%llu,\"best_effort\":%llu},"
+      "\"degraded\":%s",
+      resilience.healthy_workers, resilience.breaker_open_workers,
+      resilience.quarantined_workers,
+      static_cast<unsigned long long>(resilience.canary_pass),
+      static_cast<unsigned long long>(resilience.canary_fail),
+      static_cast<unsigned long long>(resilience.watchdog_fires),
+      static_cast<unsigned long long>(resilience.breaker_trips),
+      static_cast<unsigned long long>(resilience.breaker_recoveries),
+      static_cast<unsigned long long>(resilience.shed_requests[0]),
+      static_cast<unsigned long long>(resilience.shed_requests[1]),
+      static_cast<unsigned long long>(resilience.shed_requests[2]),
+      resilience.degraded ? "true" : "false");
+  out += buf;
+  if (resilience.degraded) {
+    // The reason is generated internally (no quotes/backslashes), but
+    // escape anyway so the object can never be malformed.
+    out += ",\"degraded_reason\":\"";
+    out += prometheus_escape_label(resilience.degraded_reason);
+    out += '"';
   }
   out += "}}";
   return out;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "serve/request.hpp"
+#include "serve/resilience.hpp"
 
 namespace yoloc {
 
@@ -103,6 +104,9 @@ struct MetricsSnapshot {
   int max_batch_occupancy = 0;
   double rolling_images_per_s = 0.0;  // images/s over the trailing window
   std::array<ClassSnapshot, kPriorityClassCount> classes{};
+  /// Resilience state at snapshot time (filled by the scheduler; all
+  /// zeros / fully healthy when the resilience layer is disabled).
+  ResilienceSnapshot resilience;
 
   /// One JSON object (single line, no trailing newline) with the schema
   /// documented in docs/serving.md.

@@ -106,6 +106,26 @@ class InfeasibleDeadlineError : public AdmissionError {
       : AdmissionError(what) {}
 };
 
+/// Refused because the scheduler is in degraded mode: healthy capacity
+/// fell below the lane's shed threshold (see ResilienceOptions), so
+/// sheddable lanes are turned away until capacity recovers. Transient —
+/// network front-ends map this to HTTP 503 with a Retry-After hint.
+/// Interactive traffic is never shed.
+class ShedError : public AdmissionError {
+ public:
+  explicit ShedError(const std::string& what) : AdmissionError(what) {}
+};
+
+/// An accepted request died because its worker was declared hung by the
+/// watchdog (or abandoned mid-execution at shutdown). The request itself
+/// was fine — retrying on a healthy worker is expected to succeed, so
+/// front-ends map this to a retriable HTTP 503.
+class WorkerHungError : public std::runtime_error {
+ public:
+  explicit WorkerHungError(const std::string& what)
+      : std::runtime_error("worker hung: " + what) {}
+};
+
 /// Request canceled because its deadline passed before (or at) admission
 /// or while it was still queued.
 class DeadlineExpiredError : public std::runtime_error {

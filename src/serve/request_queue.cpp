@@ -117,6 +117,18 @@ std::vector<ServeRequest> RequestQueue::take_expired(
   return expired;
 }
 
+std::vector<ServeRequest> RequestQueue::take_all() {
+  std::vector<ServeRequest> all;
+  for (auto& lane : lanes_) {
+    for (ServeRequest& r : lane) {
+      if (r.has_deadline()) --deadline_count_;
+      all.push_back(std::move(r));
+    }
+    lane.clear();
+  }
+  return all;
+}
+
 void RequestQueue::advance_cursor() {
   cursor_ = (cursor_ + 1) % kPriorityClassCount;
   visit_credited_ = false;

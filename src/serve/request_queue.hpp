@@ -88,6 +88,11 @@ class RequestQueue {
   /// deadline-less-traffic case pays no scan under the scheduler lock.
   std::vector<ServeRequest> take_expired(ServeClock::time_point now);
 
+  /// Drain every queued request (priority order, FIFO within a lane).
+  /// Shutdown uses this to fail residual work that no surviving worker
+  /// will ever pop (e.g. after abandoning hung workers).
+  std::vector<ServeRequest> take_all();
+
   /// Form one batch: pick a lane per the DWRR policy above (restricted
   /// to `mask`), then greedily pull same-lane same-geometry requests up
   /// to `lane_max_batch[lane]` — the lane's effective micro-batch cap,

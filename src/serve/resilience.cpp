@@ -1,0 +1,137 @@
+#include "serve/resilience.hpp"
+
+#include "common/check.hpp"
+
+namespace yoloc {
+
+void ResilienceOptions::validate() const {
+  YOLOC_CHECK(canary_period.count() >= 0,
+              "resilience: canary_period must be >= 0");
+  YOLOC_CHECK(breaker_fail_threshold >= 1,
+              "resilience: breaker_fail_threshold must be >= 1");
+  YOLOC_CHECK(breaker_recover_threshold >= 1,
+              "resilience: breaker_recover_threshold must be >= 1");
+  YOLOC_CHECK(watchdog_timeout.count() >= 0,
+              "resilience: watchdog_timeout must be >= 0");
+  for (const double f : {shed_best_effort_below, shed_batch_below}) {
+    YOLOC_CHECK(f >= 0.0 && f <= 1.0,
+                "resilience: shed threshold out of [0, 1]");
+  }
+  YOLOC_CHECK(shed_batch_below <= shed_best_effort_below ||
+                  shed_best_effort_below == 0.0,
+              "resilience: batch sheds only after best-effort "
+              "(shed_batch_below <= shed_best_effort_below)");
+}
+
+ResilienceManager::ResilienceManager(int workers, ResilienceOptions options)
+    : workers_(workers),
+      options_(options),
+      states_(static_cast<std::size_t>(workers)),
+      healthy_(new std::atomic<bool>[static_cast<std::size_t>(workers)]),
+      healthy_count_(workers) {
+  YOLOC_CHECK(workers >= 1, "resilience: workers must be >= 1");
+  options_.validate();
+  for (int w = 0; w < workers; ++w) {
+    healthy_[static_cast<std::size_t>(w)].store(true,
+                                                std::memory_order_relaxed);
+  }
+}
+
+void ResilienceManager::update_healthy_locked(int w) {
+  const WorkerState& s = states_[static_cast<std::size_t>(w)];
+  const bool healthy = !s.breaker_open && !s.quarantined;
+  if (healthy_[static_cast<std::size_t>(w)].exchange(
+          healthy, std::memory_order_relaxed) != healthy) {
+    healthy_count_.fetch_add(healthy ? 1 : -1, std::memory_order_relaxed);
+  }
+}
+
+void ResilienceManager::record_canary(int w, bool pass) {
+  std::lock_guard lock(mutex_);
+  WorkerState& s = states_[static_cast<std::size_t>(w)];
+  if (pass) {
+    ++canary_pass_;
+    s.consecutive_fails = 0;
+    if (s.breaker_open &&
+        ++s.consecutive_passes >= options_.breaker_recover_threshold) {
+      s.breaker_open = false;
+      s.consecutive_passes = 0;
+      ++breaker_recoveries_;
+      update_healthy_locked(w);
+    }
+  } else {
+    ++canary_fail_;
+    s.consecutive_passes = 0;
+    if (!s.breaker_open &&
+        ++s.consecutive_fails >= options_.breaker_fail_threshold) {
+      s.breaker_open = true;
+      s.consecutive_fails = 0;
+      ++breaker_trips_;
+      update_healthy_locked(w);
+    }
+  }
+}
+
+void ResilienceManager::force_trip(int w) {
+  std::lock_guard lock(mutex_);
+  WorkerState& s = states_[static_cast<std::size_t>(w)];
+  if (s.breaker_open) return;
+  s.breaker_open = true;
+  s.consecutive_fails = 0;
+  s.consecutive_passes = 0;
+  ++breaker_trips_;
+  update_healthy_locked(w);
+}
+
+void ResilienceManager::record_watchdog_fire(int w) {
+  std::lock_guard lock(mutex_);
+  ++watchdog_fires_;
+  WorkerState& s = states_[static_cast<std::size_t>(w)];
+  if (s.quarantined) return;
+  s.quarantined = true;
+  update_healthy_locked(w);
+}
+
+void ResilienceManager::clear_quarantine(int w) {
+  std::lock_guard lock(mutex_);
+  WorkerState& s = states_[static_cast<std::size_t>(w)];
+  if (!s.quarantined) return;
+  s.quarantined = false;
+  update_healthy_locked(w);
+}
+
+void ResilienceManager::record_shed(Priority p) {
+  std::lock_guard lock(mutex_);
+  ++shed_[static_cast<std::size_t>(p)];
+}
+
+ResilienceSnapshot ResilienceManager::snapshot() const {
+  std::lock_guard lock(mutex_);
+  ResilienceSnapshot s;
+  s.workers = workers_;
+  int open = 0;
+  int quarantined = 0;
+  for (const WorkerState& w : states_) {
+    if (w.breaker_open) ++open;
+    if (w.quarantined) ++quarantined;
+    if (!w.breaker_open && !w.quarantined) ++s.healthy_workers;
+  }
+  s.breaker_open_workers = open;
+  s.quarantined_workers = quarantined;
+  s.canary_pass = canary_pass_;
+  s.canary_fail = canary_fail_;
+  s.watchdog_fires = watchdog_fires_;
+  s.breaker_trips = breaker_trips_;
+  s.breaker_recoveries = breaker_recoveries_;
+  s.shed_requests = shed_;
+  s.degraded = s.healthy_workers < workers_;
+  if (s.degraded) {
+    s.degraded_reason = std::to_string(workers_ - s.healthy_workers) + "/" +
+                        std::to_string(workers_) + " workers unhealthy (" +
+                        std::to_string(open) + " breaker open, " +
+                        std::to_string(quarantined) + " quarantined)";
+  }
+  return s;
+}
+
+}  // namespace yoloc

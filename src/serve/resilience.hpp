@@ -1,0 +1,149 @@
+#pragma once
+// Serving resilience state: per-worker canary circuit breakers, watchdog
+// quarantine, and load-shed accounting.
+//
+// A deployed CiM part can go bad in the field — stuck-at cells, ADC
+// drift, a wedged controller (see macro/fault_model.hpp for the hardware
+// side). The serving layer's defense is detection + containment:
+//   * canary probes (fixed inputs with golden logits recorded at plan
+//     build time) replay periodically on every worker; consecutive
+//     mismatches trip that worker's circuit breaker, consecutive passes
+//     on a tripped worker close it again (half-open probing: a tripped
+//     worker keeps running canaries but takes no traffic),
+//   * the watchdog declares a worker hung when a batch overstays
+//     watchdog_timeout, fails its requests with WorkerHungError and
+//     quarantines the worker until it comes back,
+//   * when healthy capacity drops below configured thresholds the
+//     scheduler sheds best-effort (then batch) admissions with
+//     ShedError — interactive traffic is never shed.
+//
+// ResilienceManager is the bookkeeping core shared by the scheduler's
+// worker/canary/watchdog threads: one mutex guards the detailed state;
+// the per-worker healthy flags and the healthy count are mirrored into
+// atomics so the scheduling hot path (pop eligibility, admission
+// shedding) never takes the manager lock.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace yoloc {
+
+struct ResilienceOptions {
+  /// Canary replay period per worker. Zero (default) disables canaries
+  /// (also disabled when the plan carries no canary suite).
+  std::chrono::milliseconds canary_period{0};
+  /// Consecutive canary failures that trip a worker's breaker.
+  int breaker_fail_threshold = 2;
+  /// Consecutive canary passes that close a tripped breaker.
+  int breaker_recover_threshold = 2;
+  /// A batch in flight longer than this declares its worker hung. Zero
+  /// (default) disables the watchdog.
+  std::chrono::milliseconds watchdog_timeout{0};
+  /// Shed best-effort admissions when the healthy-worker fraction drops
+  /// below this. Zero (default) never sheds.
+  double shed_best_effort_below = 0.0;
+  /// Shed batch admissions too below this (interactive is never shed).
+  double shed_batch_below = 0.0;
+
+  void validate() const;
+};
+
+/// Point-in-time view of the resilience state (exported via
+/// MetricsSnapshot / GET /metrics / GET /healthz).
+struct ResilienceSnapshot {
+  int workers = 0;
+  int healthy_workers = 0;
+  int breaker_open_workers = 0;
+  int quarantined_workers = 0;
+  std::uint64_t canary_pass = 0;
+  std::uint64_t canary_fail = 0;
+  std::uint64_t watchdog_fires = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_recoveries = 0;
+  std::array<std::uint64_t, kPriorityClassCount> shed_requests{};
+  /// True when any worker is unhealthy (breaker open or quarantined).
+  bool degraded = false;
+  /// Human-readable cause when degraded ("2/4 workers unhealthy: ...").
+  std::string degraded_reason;
+};
+
+class ResilienceManager {
+ public:
+  ResilienceManager(int workers, ResilienceOptions options);
+
+  ResilienceManager(const ResilienceManager&) = delete;
+  ResilienceManager& operator=(const ResilienceManager&) = delete;
+
+  [[nodiscard]] const ResilienceOptions& options() const { return options_; }
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// Lock-free hot-path views (mirrored atomics; see header comment).
+  [[nodiscard]] bool worker_healthy(int w) const {
+    return healthy_[static_cast<std::size_t>(w)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] int healthy_workers() const {
+    return healthy_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double healthy_fraction() const {
+    return workers_ > 0
+               ? static_cast<double>(healthy_workers()) / workers_
+               : 1.0;
+  }
+
+  /// Record one canary verdict for worker `w`; trips/recovers the
+  /// breaker at the configured consecutive-count thresholds.
+  void record_canary(int w, bool pass);
+
+  /// Trip worker `w`'s breaker unconditionally (operator action / bench
+  /// scenarios). Recovery still requires breaker_recover_threshold
+  /// consecutive canary passes.
+  void force_trip(int w);
+
+  /// The watchdog declared worker `w` hung: quarantine it and count the
+  /// fire.
+  void record_watchdog_fire(int w);
+  /// Worker `w` came back from a presumed hang ("respawn").
+  void clear_quarantine(int w);
+
+  /// An admission was shed for lane `p`.
+  void record_shed(Priority p);
+
+  [[nodiscard]] ResilienceSnapshot snapshot() const;
+
+ private:
+  struct WorkerState {
+    bool breaker_open = false;
+    bool quarantined = false;
+    int consecutive_fails = 0;
+    int consecutive_passes = 0;
+  };
+
+  /// Recompute worker `w`'s mirrored healthy flag; caller holds mutex_.
+  void update_healthy_locked(int w);
+
+  const int workers_;
+  const ResilienceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::vector<WorkerState> states_;
+  std::uint64_t canary_pass_ = 0;
+  std::uint64_t canary_fail_ = 0;
+  std::uint64_t watchdog_fires_ = 0;
+  std::uint64_t breaker_trips_ = 0;
+  std::uint64_t breaker_recoveries_ = 0;
+  std::array<std::uint64_t, kPriorityClassCount> shed_{};
+
+  std::unique_ptr<std::atomic<bool>[]> healthy_;
+  std::atomic<int> healthy_count_;
+};
+
+}  // namespace yoloc

@@ -33,7 +33,10 @@ Scheduler::Scheduler(const DeploymentPlan& plan, SchedulerOptions options)
       trace_(options.workers > 0 ? options.workers
                                  : static_cast<int>(parallel_workers()),
              options.trace_sampling,
-             std::max<std::size_t>(options.trace_buffer_events, 1)) {
+             std::max<std::size_t>(options.trace_buffer_events, 1)),
+      resilience_(options.workers > 0 ? options.workers
+                                      : static_cast<int>(parallel_workers()),
+                  options.resilience) {
   if (options_.workers <= 0) {
     options_.workers = static_cast<int>(parallel_workers());
   }
@@ -65,9 +68,25 @@ Scheduler::Scheduler(const DeploymentPlan& plan, SchedulerOptions options)
     worker_masks_.push_back(kAllLanes);
   }
 
+  probe_slots_.resize(static_cast<std::size_t>(options_.workers));
+  inflight_batches_.resize(static_cast<std::size_t>(options_.workers));
+  abandon_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    abandon_.push_back(std::make_shared<WorkerAbandon>());
+  }
+
   threads_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+  // Canaries need probes to replay; a period without a recorded suite is
+  // a no-op (the plan defines what "healthy output" means).
+  if (options_.resilience.canary_period.count() > 0 &&
+      !plan.canaries().empty()) {
+    canary_thread_ = std::thread([this] { canary_loop(); });
+  }
+  if (options_.resilience.watchdog_timeout.count() > 0) {
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
   }
 }
 
@@ -97,9 +116,62 @@ void Scheduler::shutdown() {
     stop_ = true;
   }
   work_cv_.notify_all();
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
+  aux_cv_.notify_all();
+  if (canary_thread_.joinable()) canary_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  for (std::size_t w = 0; w < threads_.size(); ++w) {
+    std::thread& t = threads_[w];
+    if (!t.joinable()) continue;
+    const std::shared_ptr<WorkerAbandon> ab = abandon_[w];
+    bool stuck = false;
+    {
+      std::lock_guard g(ab->m);
+      ab->shutting_down = true;
+      if (ab->in_hook) {
+        ab->abandoned = true;
+        stuck = true;
+      }
+    }
+    if (!stuck) {
+      t.join();
+      continue;
+    }
+    // The worker is wedged inside the fault hook. Graceful shutdown must
+    // not wait forever on a hung worker: settle its batch (the drain's
+    // futures resolve with WorkerHungError) and detach the thread — it
+    // exits on its own the moment the hook releases it.
+    std::shared_ptr<InFlightBatch> ifb;
+    {
+      std::lock_guard lock(mutex_);
+      ifb = inflight_batches_[w];
+      inflight_batches_[w].reset();
+    }
+    if (ifb != nullptr) fail_hung_batch(ifb, /*quarantine=*/false);
+    t.detach();
   }
+  // Workers drain the queue before honoring stop_, so residual work only
+  // exists when no surviving healthy worker could pop it (abandoned or
+  // breaker-open workers). Nothing will ever serve it now — fail it.
+  std::vector<ServeRequest> residual;
+  {
+    std::lock_guard lock(mutex_);
+    residual = queue_.take_all();
+  }
+  if (!residual.empty()) {
+    for (ServeRequest& r : residual) {
+      metrics_.record_rejected(r.priority);
+      r.promise.set_exception(std::make_exception_ptr(WorkerHungError(
+          "request " + std::to_string(r.id) +
+          " unserved at shutdown (no healthy worker drained it)")));
+    }
+    std::lock_guard lock(mutex_);
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void Scheduler::trip_breaker(int w) {
+  YOLOC_CHECK(w >= 0 && w < worker_count(), "scheduler: bad worker index");
+  resilience_.force_trip(w);
 }
 
 std::future<Tensor> Scheduler::submit(Tensor images, SubmitOptions options) {
@@ -155,6 +227,25 @@ std::future<Tensor> Scheduler::submit(Tensor images, SubmitOptions options) {
     // against the admission cap.
     newly_expired = queue_.take_expired(now);
     in_flight_ += static_cast<int>(newly_expired.size());
+    // Degraded-mode shedding: when healthy capacity drops below a lane's
+    // threshold, turn the lane away up front (healthy_fraction() is a
+    // lock-free mirror). Interactive is NEVER shed — it queues through
+    // the outage and drains on recovery.
+    const auto& res = options_.resilience;
+    const double healthy = resilience_.healthy_fraction();
+    const bool shed =
+        (options.priority == Priority::kBestEffort &&
+         res.shed_best_effort_below > 0.0 &&
+         healthy < res.shed_best_effort_below) ||
+        (options.priority == Priority::kBatch &&
+         res.shed_batch_below > 0.0 && healthy < res.shed_batch_below);
+    if (shed) {
+      resilience_.record_shed(options.priority);
+      rejection = std::make_exception_ptr(ShedError(
+          std::string(priority_name(options.priority)) + " lane shed: " +
+          std::to_string(resilience_.healthy_workers()) + "/" +
+          std::to_string(worker_count()) + " workers healthy"));
+    } else
     switch (queue_.admit(options.priority, now, req.deadline,
                          req.input.shape()[0], options_.max_queue_depth,
                          ewma_image_ns_.load(std::memory_order_relaxed))) {
@@ -183,10 +274,12 @@ std::future<Tensor> Scheduler::submit(Tensor images, SubmitOptions options) {
   if (rejection) {
     metrics_.record_rejected(options.priority);
     req.promise.set_exception(rejection);
-  } else if (has_reservations_) {
+  } else if (has_reservations_ ||
+             resilience_.healthy_workers() < worker_count()) {
     // notify_one could wake a worker whose lane mask excludes this
-    // request (it would go straight back to sleep and nobody else is
-    // woken — a lost wakeup). With reservations active, wake everyone.
+    // request — or an unhealthy worker that refuses to pop — and it
+    // would go straight back to sleep with nobody else woken (a lost
+    // wakeup). With reservations or degraded capacity, wake everyone.
     work_cv_.notify_all();
   } else {
     work_cv_.notify_one();
@@ -206,7 +299,9 @@ MetricsSnapshot Scheduler::metrics_snapshot() const {
     std::lock_guard lock(mutex_);
     depths = queue_.depths();
   }
-  return metrics_.snapshot(depths);
+  MetricsSnapshot snap = metrics_.snapshot(depths);
+  snap.resilience = resilience_.snapshot();
+  return snap;
 }
 
 WorkloadTrace Scheduler::recorded_trace() const {
@@ -267,16 +362,40 @@ void Scheduler::worker_loop(int worker_index) {
   // than re-entering the shared parallel_for pool.
   ParallelSerialGuard serial_guard;
   ExecutionContext ctx(*plan_, options_.noise_seed);
-  const LaneMask mask = worker_masks_[static_cast<std::size_t>(worker_index)];
+  const auto widx = static_cast<std::size_t>(worker_index);
+  const LaneMask mask = worker_masks_[widx];
+  // Local copies survive Scheduler destruction — all a detached
+  // (abandoned) worker may touch on its way out.
+  const std::shared_ptr<WorkerAbandon> ab = abandon_[widx];
+  const bool track_inflight =
+      options_.resilience.watchdog_timeout.count() > 0 ||
+      options_.worker_fault_hook != nullptr;
 
+  bool last_was_probe = false;
   for (;;) {
     std::vector<ServeRequest> batch;
     std::vector<ServeRequest> expired;
+    const CanaryProbe* probe = nullptr;
     std::uint64_t batch_id = 0;
     ServeClock::time_point pickup{};
     {
       std::unique_lock lock(mutex_);
       for (;;) {
+        // Canary probes ahead of traffic — and regardless of breaker
+        // state: a tripped worker keeps probing (half-open), which is
+        // the only way its breaker ever closes again. One exception:
+        // right after running a probe, waiting traffic goes first, so
+        // even a canary period shorter than one inference can claim at
+        // most every other slot of a saturated healthy worker.
+        const bool traffic_waiting =
+            resilience_.worker_healthy(worker_index) &&
+            queue_.has_work(mask);
+        if (!probe_slots_[widx].empty() &&
+            !(last_was_probe && traffic_waiting)) {
+          probe = probe_slots_[widx].front();
+          probe_slots_[widx].pop_front();
+          break;
+        }
         const auto now = ServeClock::now();
         // Expiry first: a dead deadline must never occupy a worker or
         // ride along in a batch. Workers harvest ALL lanes regardless
@@ -288,7 +407,9 @@ void Scheduler::worker_loop(int worker_index) {
           in_flight_ += static_cast<int>(expired.size());
           break;
         }
-        if (queue_.has_work(mask)) {
+        // An unhealthy worker (breaker open or quarantined) takes no
+        // traffic; it sleeps until a probe (or recovery) arrives.
+        if (traffic_waiting) {
           const std::uint64_t est =
               ewma_image_ns_.load(std::memory_order_relaxed);
           const std::uint64_t window_est =
@@ -310,10 +431,32 @@ void Scheduler::worker_loop(int worker_index) {
       }
     }
 
+    if (probe != nullptr) {
+      // Replay the probe on this worker's own context: fixed seed,
+      // fresh stats, result compared bit-exactly against the golden
+      // logits. Probe stats are never merged and no request id is
+      // consumed — canaries are invisible to the determinism contract.
+      ctx.reseed(probe->seed);
+      ctx.reset_stats();
+      bool pass = false;
+      try {
+        const Tensor out = ctx.infer(probe->input);
+        pass = out.shape() == probe->golden.shape() &&
+               std::memcmp(out.data(), probe->golden.data(),
+                           out.size() * sizeof(float)) == 0;
+      } catch (...) {
+        pass = false;
+      }
+      resilience_.record_canary(worker_index, pass);
+      last_was_probe = true;
+      continue;
+    }
+
     if (!expired.empty()) {
       cancel_expired(std::move(expired));
       continue;
     }
+    last_was_probe = false;
 
     // Tracing (observer-only): a batch is traced when ANY member's
     // admission id samples in. Batch-scoped spans carry the batch id
@@ -365,6 +508,38 @@ void Scheduler::worker_loop(int worker_index) {
       ctx.set_layer_trace(&layer_sink);
     }
 
+    // Watchdog registration: publish this batch as in flight BEFORE the
+    // fault hook / forward pass, so a hang anywhere inside is visible.
+    std::shared_ptr<InFlightBatch> ifb;
+    if (track_inflight) {
+      ifb = std::make_shared<InFlightBatch>();
+      ifb->batch_id = batch_id;
+      ifb->worker = worker_index;
+      ifb->start = ServeClock::now();
+      ifb->requests = &batch;
+      std::lock_guard lock(mutex_);
+      inflight_batches_[widx] = ifb;
+    }
+    if (options_.worker_fault_hook) {
+      bool run_hook = false;
+      {
+        std::lock_guard g(ab->m);
+        if (!ab->shutting_down) {
+          ab->in_hook = true;
+          run_hook = true;
+        }
+      }
+      if (run_hook) {
+        options_.worker_fault_hook(worker_index);
+        std::lock_guard g(ab->m);
+        ab->in_hook = false;
+        // Shutdown detached this thread while it was wedged in the hook
+        // and already settled the batch: the Scheduler may be destroyed
+        // by now, so leave without touching any member.
+        if (ab->abandoned) return;
+      }
+    }
+
     Tensor output;
     std::exception_ptr error;
     int total_images = 0;
@@ -394,9 +569,11 @@ void Scheduler::worker_loop(int worker_index) {
     // Fulfill promises BEFORE the completion accounting below: wait_idle()
     // promises that every accepted request has completed, so futures must
     // be ready by the time in_flight_ reaches zero.
-    if (error) {
-      for (ServeRequest& r : batch) r.promise.set_exception(error);
-    } else {
+    const auto fulfill = [&] {
+      if (error) {
+        for (ServeRequest& r : batch) r.promise.set_exception(error);
+        return;
+      }
       int row = 0;
       for (ServeRequest& r : batch) {
         const int rows = r.input.shape()[0];
@@ -413,6 +590,29 @@ void Scheduler::worker_loop(int worker_index) {
         }
         row += rows;
       }
+    };
+    bool already_settled = false;
+    if (ifb != nullptr) {
+      std::lock_guard g(ifb->m);
+      if (ifb->settled) {
+        already_settled = true;
+      } else {
+        fulfill();
+        ifb->settled = true;
+      }
+    } else {
+      fulfill();
+    }
+    if (already_settled) {
+      // The watchdog declared us hung and already failed the batch's
+      // promises and ran its accounting. We were merely slow, not dead —
+      // coming back IS the respawn: clear the quarantine and rejoin.
+      {
+        std::lock_guard lock(mutex_);
+        if (inflight_batches_[widx] == ifb) inflight_batches_[widx].reset();
+      }
+      resilience_.clear_quarantine(worker_index);
+      continue;
     }
 
     // Telemetry: one observation per batch into this worker's slot.
@@ -457,6 +657,9 @@ void Scheduler::worker_loop(int worker_index) {
 
     {
       std::lock_guard lock(mutex_);
+      if (ifb != nullptr && inflight_batches_[widx] == ifb) {
+        inflight_batches_[widx].reset();
+      }
       // Merge per-batch stats in batch-formation order: given the same
       // batch compositions (always true at max_microbatch = 1 with
       // uniform-class traffic) the aggregate double sums are
@@ -476,6 +679,95 @@ void Scheduler::worker_loop(int worker_index) {
       in_flight_ -= static_cast<int>(batch.size());
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }
+  }
+}
+
+void Scheduler::canary_loop() {
+  const auto period = options_.resilience.canary_period;
+  const CanarySuite& suite = plan_->canaries();
+  std::size_t next = 0;
+  std::unique_lock lock(mutex_);
+  while (!aux_cv_.wait_for(lock, period, [&] { return stop_; })) {
+    // ONE pending probe per worker, cycling through the suite. Probes
+    // are popped ahead of traffic, so the backlog cap of one is what
+    // bounds probe duty below half a worker's time even when the period
+    // is shorter than an inference — probing samples worker health, it
+    // must never starve traffic (nor pile up on a hung worker).
+    const CanaryProbe& p = suite.probes[next % suite.probes.size()];
+    next += 1;
+    for (auto& slot : probe_slots_) {
+      if (slot.empty()) slot.push_back(&p);
+    }
+    work_cv_.notify_all();
+  }
+}
+
+void Scheduler::watchdog_loop() {
+  const auto timeout = options_.resilience.watchdog_timeout;
+  const auto poll =
+      std::max(std::chrono::milliseconds(1),
+               std::chrono::milliseconds(timeout.count() / 4));
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (aux_cv_.wait_for(lock, poll, [&] { return stop_; })) return;
+    const auto now = ServeClock::now();
+    std::vector<std::shared_ptr<InFlightBatch>> hung;
+    for (auto& slot : inflight_batches_) {
+      if (slot != nullptr && now - slot->start >= timeout) {
+        hung.push_back(slot);
+        slot.reset();
+      }
+    }
+    if (hung.empty()) continue;
+    lock.unlock();
+    for (const auto& ifb : hung) {
+      fail_hung_batch(ifb, /*quarantine=*/true);
+    }
+    lock.lock();
+  }
+}
+
+void Scheduler::fail_hung_batch(const std::shared_ptr<InFlightBatch>& ifb,
+                                bool quarantine) {
+  std::size_t n = 0;
+  int images = 0;
+  Priority priority = Priority::kBatch;
+  {
+    std::lock_guard g(ifb->m);
+    if (ifb->settled) return;
+    ifb->settled = true;
+    n = ifb->requests->size();
+    priority = ifb->requests->front().priority;
+    for (ServeRequest& r : *ifb->requests) {
+      images += r.input.shape()[0];
+      r.promise.set_exception(std::make_exception_ptr(WorkerHungError(
+          "request " + std::to_string(r.id) + " abandoned on worker " +
+          std::to_string(ifb->worker) + "; retry on a healthy worker")));
+    }
+  }
+  if (quarantine) resilience_.record_watchdog_fire(ifb->worker);
+  BatchObservation obs;
+  obs.priority = priority;
+  obs.requests = static_cast<int>(n);
+  obs.images = images;
+  obs.failed = true;
+  metrics_.record_batch(ifb->worker, obs);
+  {
+    std::lock_guard lock(mutex_);
+    // The hung batch merges zeros but still holds its slot in the merge
+    // train, exactly like an execution failure — otherwise every later
+    // batch's stats would wait on a merge id that never arrives.
+    pending_stats_[ifb->batch_id] = BatchStats{};
+    for (auto it = pending_stats_.find(next_merge_id_);
+         it != pending_stats_.end();
+         it = pending_stats_.find(next_merge_id_)) {
+      rom_total_.accumulate(it->second.rom);
+      sram_total_.accumulate(it->second.sram);
+      pending_stats_.erase(it);
+      ++next_merge_id_;
+    }
+    in_flight_ -= static_cast<int>(n);
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
   }
 }
 

@@ -45,8 +45,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -54,10 +57,13 @@
 #include "runtime/execution_context.hpp"
 #include "serve/metrics_registry.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/resilience.hpp"
 #include "serve/trace.hpp"
 #include "serve/workload_trace.hpp"
 
 namespace yoloc {
+
+struct CanaryProbe;  // runtime/deployment_plan.hpp
 
 struct SchedulerOptions {
   /// Worker threads. 0 = parallel_workers() (which honours YOLOC_THREADS).
@@ -107,6 +113,16 @@ struct SchedulerOptions {
   /// geometry — retrievable via recorded_trace() and replayable with
   /// replay_trace() / tools/yoloc_replay.
   bool record_admissions = false;
+  /// Resilience layer: canary probes / circuit breakers (requires the
+  /// plan to carry a canary suite), worker watchdog, degraded-mode load
+  /// shedding. Everything defaults to off — the scheduler then behaves
+  /// (and schedules) exactly as before this layer existed.
+  ResilienceOptions resilience;
+  /// TEST-ONLY fault hook: when set, every worker calls it with its
+  /// index right before executing a picked batch. Chaos tests use it to
+  /// simulate a hung worker (block inside the hook) and exercise the
+  /// watchdog / shutdown-abandonment paths.
+  std::function<void(int)> worker_fault_hook;
 };
 
 class Scheduler {
@@ -181,13 +197,62 @@ class Scheduler {
   /// submission.
   [[nodiscard]] WorkloadTrace recorded_trace() const;
 
+  /// Point-in-time resilience state (also embedded in
+  /// metrics_snapshot().resilience).
+  [[nodiscard]] ResilienceSnapshot resilience_snapshot() const {
+    return resilience_.snapshot();
+  }
+  /// Force-trip worker `w`'s circuit breaker (operator action; bench
+  /// degraded-mode scenarios). Recovery requires consecutive canary
+  /// passes as usual.
+  void trip_breaker(int w);
+
  private:
   struct BatchStats {
     MacroRunStats rom;
     MacroRunStats sram;
   };
 
+  /// One batch (or canary probe) in flight on one worker. The settle
+  /// protocol: exactly ONE of {the worker, the watchdog, shutdown}
+  /// settles the batch's promises — whoever flips `settled` under `m`
+  /// wins; the others skip fulfillment AND its accounting. The requests
+  /// pointer targets the worker's stack-local batch, valid until the
+  /// worker observes `settled` and moves on (which it can only do after
+  /// the settler releases `m`). Lock order: `m` before Scheduler::mutex_
+  /// (never the reverse).
+  struct InFlightBatch {
+    std::mutex m;
+    bool settled = false;
+    std::uint64_t batch_id = 0;
+    int worker = -1;
+    ServeClock::time_point start{};
+    std::vector<ServeRequest>* requests = nullptr;
+  };
+
+  /// Shutdown-vs-hung-worker handshake, one per worker. A worker flags
+  /// `in_hook` around the fault hook; shutdown() joins workers normally
+  /// but DETACHES one stuck inside the hook (`abandoned`), settles its
+  /// batch, and returns — graceful shutdown must not wait forever on a
+  /// hung worker. A heap control block (not a Scheduler member) so the
+  /// detached thread can consult it after the Scheduler is gone.
+  struct WorkerAbandon {
+    std::mutex m;
+    bool in_hook = false;
+    bool shutting_down = false;
+    bool abandoned = false;
+  };
+
   void worker_loop(int worker_index);
+  /// Periodically enqueue the plan's canary probes to every worker.
+  void canary_loop();
+  /// Periodically declare overdue in-flight batches hung.
+  void watchdog_loop();
+  /// Settle `ifb` with WorkerHungError (watchdog fire or shutdown
+  /// abandonment) and run its completion accounting. No-op if already
+  /// settled. `quarantine` marks the worker unhealthy afterwards.
+  void fail_hung_batch(const std::shared_ptr<InFlightBatch>& ifb,
+                       bool quarantine);
   /// Fail `expired` fast (DeadlineExpiredError) and settle accounting.
   /// Caller must have added them to in_flight_ under the queue lock.
   void cancel_expired(std::vector<ServeRequest> expired);
@@ -202,7 +267,10 @@ class Scheduler {
   SchedulerOptions options_;
   MetricsRegistry metrics_;
   TraceCollector trace_;
+  ResilienceManager resilience_;
   std::vector<std::thread> threads_;
+  std::thread canary_thread_;
+  std::thread watchdog_thread_;
   /// Lane eligibility per worker (reserved workers get one lane).
   std::vector<LaneMask> worker_masks_;
   bool has_reservations_ = false;
@@ -215,8 +283,19 @@ class Scheduler {
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  /// Paces the canary/watchdog threads (signaled only at shutdown).
+  std::condition_variable aux_cv_;
   RequestQueue queue_;
   bool stop_ = false;
+  /// Per-worker pending canary probes (guarded by mutex_). Probes are
+  /// checked FIRST in the worker wait loop — even a breaker-open worker
+  /// runs them (half-open probing is what closes the breaker again).
+  std::vector<std::deque<const CanaryProbe*>> probe_slots_;
+  /// Per-worker in-flight batch (guarded by mutex_; null when idle).
+  /// Maintained only when the watchdog or the fault hook is active.
+  std::vector<std::shared_ptr<InFlightBatch>> inflight_batches_;
+  /// Per-worker shutdown handshake blocks (see WorkerAbandon).
+  std::vector<std::shared_ptr<WorkerAbandon>> abandon_;
   std::uint64_t next_request_id_ = 0;
   std::uint64_t next_batch_id_ = 0;
   std::uint64_t next_merge_id_ = 0;

@@ -16,11 +16,14 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -581,6 +584,92 @@ TEST(HttpDrain, FinishesInFlightThenRefusesNewConnections) {
 
   server.reset();  // double-drain via destructor must be a no-op
   scheduler.wait_idle();
+}
+
+// ------------------------------------- resilience over the wire
+
+TEST(HttpResilience, HungWorkerMapsTo503AndDrainStaysPrompt) {
+  auto plan = make_plan(MacroMvmEngine::Mode::kAnalog);
+
+  // Wedge the only worker inside the TEST-ONLY fault hook on its first
+  // batch; the watchdog is what must unblock the HTTP handler.
+  std::mutex hang_mutex;
+  std::condition_variable hang_cv;
+  bool hang_armed = true;
+  bool hung = false;
+  std::atomic<bool> hook_exited{false};
+
+  SchedulerOptions sched;
+  sched.workers = 1;
+  sched.max_microbatch = 1;
+  sched.resilience.watchdog_timeout = milliseconds(40);
+  sched.worker_fault_hook = [&](int) {
+    std::unique_lock lock(hang_mutex);
+    if (!hang_armed) return;
+    hang_armed = false;
+    hung = true;
+    hang_cv.notify_all();
+    hang_cv.wait(lock, [&] { return !hung; });
+    hook_exited.store(true);
+  };
+  Scheduler scheduler(*plan, sched);
+  auto server = std::make_unique<HttpServer>(scheduler, *plan);
+  const int port = server->port();
+
+  auto pending = std::async(std::launch::async, [&] {
+    HttpClient c("127.0.0.1", port, milliseconds(30000));
+    return c.post("/infer", infer_body(make_input(70, {1, 3, 8, 8})));
+  });
+  {
+    std::unique_lock lock(hang_mutex);
+    hang_cv.wait(lock, [&] { return hung; });
+  }
+
+  // The watchdog fails the hung batch: the client gets a retriable 503
+  // instead of hanging for the full connection timeout.
+  const HttpResponse resp = pending.get();
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_NE(resp.body.find("worker_hung"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.headers.find("retry-after"), resp.headers.end());
+
+  // The quarantined worker shows up as degraded on /healthz (still 200:
+  // the server is up, just impaired).
+  std::string health;
+  for (int spin = 0; spin < 200; ++spin) {
+    HttpClient probe("127.0.0.1", port, milliseconds(2000));
+    const HttpResponse hz = probe.get("/healthz");
+    EXPECT_EQ(hz.status, 200);
+    health = hz.body;
+    if (health.find("\"status\":\"degraded\"") != std::string::npos) break;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  EXPECT_NE(health.find("\"status\":\"degraded\""), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"healthy_workers\":0"), std::string::npos) << health;
+
+  // Drain while the worker is STILL wedged in the hook: it must return
+  // promptly — the watchdog already resolved the only in-flight request,
+  // so no handler thread is left waiting on the scheduler.
+  const auto start = std::chrono::steady_clock::now();
+  server->drain();
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+  server.reset();
+
+  // Release the hook before the Scheduler (which owns the closure) dies;
+  // the late worker discovers its batch was settled and exits cleanly
+  // through the normal graceful shutdown.
+  {
+    std::lock_guard lock(hang_mutex);
+    hung = false;
+  }
+  hang_cv.notify_all();
+  for (int i = 0; i < 2500 && !hook_exited.load(); ++i) {
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  ASSERT_TRUE(hook_exited.load()) << "hung worker never left the fault hook";
+  std::this_thread::sleep_for(milliseconds(5));
+  scheduler.shutdown();
 }
 
 }  // namespace

@@ -10,9 +10,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <future>
+#include <mutex>
 #include <map>
 #include <sstream>
 #include <string>
@@ -681,6 +684,145 @@ TEST(Scheduler, GracefulShutdownDrainsByPriority) {
       snap.classes[static_cast<std::size_t>(Priority::kBestEffort)]
           .served_requests,
       3u);
+}
+
+// --------------------------------------- shutdown races a hung worker
+
+/// Shared test fixture for wedging exactly one worker inside the
+/// TEST-ONLY fault hook: the first batch picked anywhere blocks until
+/// release(); every later pick runs normally. `exited` flips only
+/// after the blocked thread has left the hook body, so tests can wait
+/// for it before the Scheduler (which owns the hook closure) dies.
+struct HangOnce {
+  std::mutex m;
+  std::condition_variable cv;
+  bool armed = true;
+  bool hung = false;
+  std::atomic<bool> exited{false};
+
+  std::function<void(int)> hook() {
+    return [this](int) {
+      std::unique_lock lock(m);
+      if (!armed) return;
+      armed = false;
+      hung = true;
+      cv.notify_all();
+      cv.wait(lock, [this] { return !hung; });
+      exited.store(true);
+    };
+  }
+  void wait_hung() {
+    std::unique_lock lock(m);
+    cv.wait(lock, [this] { return hung; });
+  }
+  void release_and_wait_exit() {
+    {
+      std::lock_guard lock(m);
+      hung = false;
+    }
+    cv.notify_all();
+    for (int i = 0; i < 2500 && !exited.load(); ++i) {
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+    ASSERT_TRUE(exited.load()) << "hung worker never left the fault hook";
+    // Give the released thread a beat to finish unwinding out of the
+    // hook call frame before the closure's owner is destroyed.
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+};
+
+TEST(SchedulerShutdownRace, AbandonsHungWorkerAndFailsResidualQueue) {
+  auto plan = make_plan(MacroMvmEngine::Mode::kAnalog);
+  HangOnce hang;
+
+  SchedulerOptions options;
+  options.workers = 1;
+  options.max_microbatch = 1;
+  // Deliberately NO watchdog: shutdown() itself must be the thing that
+  // refuses to wait forever on the wedged worker.
+  options.worker_fault_hook = hang.hook();
+
+  {
+    Scheduler scheduler(*plan, options);
+    auto victim = scheduler.submit(make_input(61, {1, 3, 8, 8}));
+    hang.wait_hung();
+
+    // Requests now stuck behind the only (wedged) worker.
+    std::vector<std::future<Tensor>> residual;
+    residual.push_back(scheduler.submit(make_input(62, {1, 3, 8, 8}),
+                                        {Priority::kInteractive}));
+    residual.push_back(
+        scheduler.submit(make_input(63, {1, 3, 8, 8}), {Priority::kBatch}));
+    residual.push_back(scheduler.submit(make_input(64, {1, 3, 8, 8}),
+                                        {Priority::kBestEffort}));
+
+    const auto start = std::chrono::steady_clock::now();
+    scheduler.shutdown();
+    // Graceful shutdown abandoned the hung thread instead of joining it.
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::seconds(5));
+
+    // Everyone resolved retriably: the in-flight victim was settled by
+    // the abandonment, the residual queue by the post-join drain.
+    EXPECT_THROW(victim.get(), WorkerHungError);
+    for (auto& f : residual) EXPECT_THROW(f.get(), WorkerHungError);
+    scheduler.wait_idle();  // accounting settled too — must not block
+
+    const MetricsSnapshot snap = scheduler.metrics_snapshot();
+    EXPECT_EQ(snap.served_requests, 0u);
+    EXPECT_GE(snap.classes[static_cast<std::size_t>(Priority::kBatch)]
+                  .failed_requests,
+              1u);
+    std::uint64_t rejected = 0;
+    for (const ClassSnapshot& c : snap.classes) rejected += c.rejected_requests;
+    EXPECT_EQ(rejected, 3u)
+        << "residual requests count as rejected, not served";
+
+    hang.release_and_wait_exit();
+  }
+}
+
+TEST(SchedulerShutdownRace, HealthyWorkerStillDrainsPastHungPeer) {
+  auto plan = make_plan(MacroMvmEngine::Mode::kAnalog);
+  HangOnce hang;
+
+  SchedulerOptions options;
+  options.workers = 2;
+  options.max_microbatch = 1;
+  options.worker_fault_hook = hang.hook();
+
+  {
+    Scheduler scheduler(*plan, options);
+    constexpr int kRequests = 6;
+    const Priority kLanes[] = {Priority::kInteractive, Priority::kBatch,
+                               Priority::kBestEffort};
+    std::vector<std::future<Tensor>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+      futures.push_back(
+          scheduler.submit(make_input(80 + static_cast<unsigned>(i),
+                                      {1, 3, 8, 8}),
+                           {kLanes[i % 3]}));
+    }
+    hang.wait_hung();  // exactly one worker wedged on one request
+
+    scheduler.shutdown();
+
+    // The surviving healthy worker drained everything except the one
+    // request trapped in the wedged worker's batch.
+    int served = 0, hung_failures = 0;
+    for (auto& f : futures) {
+      try {
+        (void)f.get();
+        ++served;
+      } catch (const WorkerHungError&) {
+        ++hung_failures;
+      }
+    }
+    EXPECT_EQ(hung_failures, 1);
+    EXPECT_EQ(served, kRequests - 1);
+
+    hang.release_and_wait_exit();
+  }
 }
 
 // ------------------------------------------- weighted-fair scheduling

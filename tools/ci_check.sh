@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# ci_check.sh — the full local CI gate, one command, one summary.
+#
+#   tools/ci_check.sh <source-dir> [build-dir]
+#
+# Three gates, in order:
+#   1. tier-1   — the plain test suite in <build-dir> (configured +
+#                 built here if the directory is missing);
+#   2. tsan     — a ThreadSanitizer build (<build-dir>-tsan) running the
+#                 concurrency-heavy labels: serve | trace | fault;
+#   3. asan     — an AddressSanitizer build (<build-dir>-asan) running
+#                 the wire/format labels: http | serde.
+#
+# Every gate runs even after an earlier one fails, so a single pass
+# reports ALL the breakage; the exit code is non-zero when any gate
+# failed. Wired as the `check` CMake target:
+#   cmake --build build --target check
+#
+# Sanitizer builds are configured with the repo's own YOLOC_TSAN /
+# YOLOC_ASAN options (mutually exclusive, hence the separate build
+# trees) and are incremental — rerunning the gate only rebuilds what
+# changed.
+
+set -uo pipefail
+
+if [ $# -lt 1 ] || [ $# -gt 2 ]; then
+  echo "usage: ci_check.sh <source-dir> [build-dir]" >&2
+  exit 2
+fi
+src="$1"
+build="${2:-$src/build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+declare -a gate_names=()
+declare -a gate_results=()
+
+# run_gate NAME BUILD_DIR CMAKE_EXTRA_ARGS CTEST_ARGS...
+run_gate() {
+  local name="$1" dir="$2" extra="$3"
+  shift 3
+  local log
+  log="$(mktemp -t yoloc_ci_${name}.XXXXXX)"
+  echo "== gate: ${name} (${dir}) =="
+  local ok=1
+  # shellcheck disable=SC2086  # $extra is deliberately word-split
+  if ! cmake -B "$dir" -S "$src" $extra >"$log" 2>&1; then
+    ok=0
+  elif ! cmake --build "$dir" -j "$jobs" >>"$log" 2>&1; then
+    ok=0
+  elif ! ctest --test-dir "$dir" --output-on-failure -j "$jobs" "$@" \
+       >>"$log" 2>&1; then
+    ok=0
+  fi
+  if [ "$ok" = 1 ]; then
+    tail -n 3 "$log" | sed 's/^/  /'
+    gate_results+=("PASS")
+  else
+    echo "-- ${name} FAILED; log tail:"
+    tail -n 40 "$log" | sed 's/^/  /'
+    echo "-- full log: $log"
+    gate_results+=("FAIL")
+  fi
+  gate_names+=("$name")
+  [ "$ok" = 1 ] && rm -f "$log"
+  return 0
+}
+
+run_gate tier-1 "$build" ""
+run_gate tsan "${build}-tsan" "-DYOLOC_TSAN=ON" -L "serve|trace|fault"
+run_gate asan "${build}-asan" "-DYOLOC_ASAN=ON" -L "http|serde"
+
+echo
+echo "== ci_check summary =="
+status=0
+for i in "${!gate_names[@]}"; do
+  printf '  %-8s %s\n' "${gate_names[$i]}" "${gate_results[$i]}"
+  [ "${gate_results[$i]}" = "PASS" ] || status=1
+done
+exit "$status"

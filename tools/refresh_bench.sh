@@ -4,9 +4,10 @@
 #   tools/refresh_bench.sh <build-dir> [seconds-per-cell]
 #
 # Runs the two always-available self-timed benches and rewrites
-#   bench/BENCH_macro_mvm.json      (one JSON line per kernel cell)
-#   bench/BENCH_serving.json        (one JSON line per serving config)
-#   bench/BENCH_http_serving.json   (one JSON line per loadgen scenario)
+#   bench/BENCH_macro_mvm.json        (one JSON line per kernel cell)
+#   bench/BENCH_serving.json          (one JSON line per serving config)
+#   bench/BENCH_http_serving.json     (one JSON line per loadgen scenario)
+#   bench/BENCH_fault_resilience.json (one JSON line per resilience config)
 # keeping only the JSON lines (stdout commentary is dropped), so the
 # committed snapshots stay machine-diffable. Wired as the `bench` CMake
 # target: `cmake --build build --target bench` refreshes all files.
@@ -65,10 +66,11 @@ cleanup() {
 }
 trap cleanup EXIT
 
+plan="$workdir/bench.yolocplan"
 start_server() {  # start_server <extra flags...>; sets server_pid, port_file
   port_file="$workdir/port"
   rm -f "$port_file"
-  "$build/yoloc_serve" --plan "$workdir/bench.yolocplan" --port 0 \
+  "$build/yoloc_serve" --plan "$plan" --port 0 \
       --port-file "$port_file" --workers 2 "$@" >/dev/null 2>&1 &
   server_pid=$!
   for _ in $(seq 1 100); do
@@ -121,6 +123,68 @@ over_rate=$(awk -v c="$capacity" 'BEGIN { r = c * 3; if (r < 10) r = 10; printf 
 tag_row open_over_tiny_queue "$workdir/over.json"
 stop_server
 
+# ------------------------------------------------------ fault resilience
+# One closed-loop probe against four resilience configs of the SAME
+# model. The signal is relational: faults_off must sit within noise of
+# no_fault_config (the dormant fault model is one flag check per MVM —
+# the derived overhead row makes the ratio explicit), breaker_tripped
+# serves everything on the 1 surviving worker (throughput holds when the
+# host is CPU-bound below the worker count, but queue-wait latency
+# rises), and degraded should show 503s on the shed lanes while
+# interactive rides through error-free.
+echo "refresh_bench: fault resilience ($http_seconds s per scenario)" >&2
+: > "$out/BENCH_fault_resilience.json"
+tag_fault_row() {  # tag_fault_row <scenario> <row-file>
+  sed "s/^{\"bench\":\"http_serving\",/{\"bench\":\"fault_resilience\",\"scenario\":\"$1\",/" \
+      "$2" >> "$out/BENCH_fault_resilience.json"
+}
+
+"$build/serve_from_plan" --save "$workdir/faultoff.yolocplan" \
+    --fault-stuck 0.02 --fault-flip 0.0005 --fault-inactive \
+    --canaries 4 >/dev/null
+
+# Baseline: no fault config in the plan at all (v1 artifact).
+plan="$workdir/bench.yolocplan"
+start_server --max-queue-depth 256
+"$build/yoloc_loadgen" --port-file "$port_file" --mode closed \
+    --concurrency 4 --duration-s "$http_seconds" --priority-mix 2,1,1 \
+    | grep '^{' > "$workdir/no_fault.json"
+tag_fault_row no_fault_config "$workdir/no_fault.json"
+stop_server
+
+# Dormant faults + recorded canaries: the fault-off hot path.
+plan="$workdir/faultoff.yolocplan"
+start_server --max-queue-depth 256
+"$build/yoloc_loadgen" --port-file "$port_file" --mode closed \
+    --concurrency 4 --duration-s "$http_seconds" --priority-mix 2,1,1 \
+    | grep '^{' > "$workdir/faults_off.json"
+tag_fault_row faults_off "$workdir/faults_off.json"
+stop_server
+
+awk -v base="$(sed 's/.*"images_per_s":\([0-9.]*\).*/\1/' "$workdir/no_fault.json")" \
+    -v off="$(sed 's/.*"images_per_s":\([0-9.]*\).*/\1/' "$workdir/faults_off.json")" \
+    'BEGIN { printf "{\"bench\":\"fault_resilience\",\"scenario\":\"faults_off_overhead\",\"baseline_images_per_s\":%.2f,\"faults_off_images_per_s\":%.2f,\"overhead_pct\":%.2f}\n", base, off, (base - off) / base * 100 }' \
+    >> "$out/BENCH_fault_resilience.json"
+
+# Breaker force-tripped on 1 of 2 workers: ~half capacity, zero errors.
+start_server --max-queue-depth 256 --trip-workers 1
+"$build/yoloc_loadgen" --port-file "$port_file" --mode closed \
+    --concurrency 4 --duration-s "$http_seconds" --priority-mix 2,1,1 \
+    | grep '^{' > "$workdir/tripped.json"
+tag_fault_row breaker_tripped "$workdir/tripped.json"
+stop_server
+
+# Degraded with shedding: 1/2 healthy is below both thresholds, so the
+# batch and best-effort lanes take 503s while interactive still serves.
+start_server --max-queue-depth 256 --trip-workers 1 \
+    --shed-best-effort-below 0.75 --shed-batch-below 0.6
+"$build/yoloc_loadgen" --port-file "$port_file" --mode closed \
+    --concurrency 4 --duration-s "$http_seconds" --priority-mix 2,1,1 \
+    | grep '^{' > "$workdir/degraded.json"
+tag_fault_row degraded_shedding "$workdir/degraded.json"
+stop_server
+
 echo "refresh_bench: wrote $(wc -l < "$out/BENCH_macro_mvm.json") macro rows," \
      "$(wc -l < "$out/BENCH_serving.json") serving rows," \
-     "$(wc -l < "$out/BENCH_http_serving.json") http rows into $out" >&2
+     "$(wc -l < "$out/BENCH_http_serving.json") http rows," \
+     "$(wc -l < "$out/BENCH_fault_resilience.json") resilience rows into $out" >&2

@@ -46,6 +46,8 @@ struct Config {
   double deadline_ms = 0.0;            // 0 = none
   std::uint64_t seed = 42;
   int warmup = 8;
+  /// Max retries per request on 429/503/transport errors (0 = off).
+  int retries = 0;
 };
 
 struct Counters {
@@ -54,6 +56,7 @@ struct Counters {
   std::atomic<std::uint64_t> err_503{0};
   std::atomic<std::uint64_t> err_other{0};
   std::atomic<std::uint64_t> err_transport{0};
+  std::atomic<std::uint64_t> retries{0};
   std::mutex latency_mutex;
   std::vector<double> latencies_ms;  // successful requests only
 };
@@ -147,7 +150,11 @@ int usage() {
       "  --priority-mix A,B,C interactive:batch:best_effort weights\n"
       "  --deadline-ms X      per-request deadline (0 = none)\n"
       "  --warmup N           untimed warmup requests (default 8)\n"
-      "  --seed S             payload + arrival rng seed\n");
+      "  --seed S             payload + arrival rng seed\n"
+      "  --retry N            retry 429/503/transport errors up to N times\n"
+      "                       (exponential backoff + jitter, honors\n"
+      "                       Retry-After, gives up at the run/request\n"
+      "                       deadline)\n");
   return 2;
 }
 
@@ -188,6 +195,8 @@ int main(int argc, char** argv) {
       config.warmup = std::atoi(value);
     } else if (arg == "--seed") {
       config.seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--retry") {
+      config.retries = std::atoi(value);
     } else {
       return usage();
     }
@@ -239,6 +248,60 @@ int main(int argc, char** argv) {
     const auto stop_at =
         start + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(config.duration_s));
+
+    // POST with bounded retries on retriable failures (429, 503,
+    // transport). Exponential backoff with multiplicative jitter,
+    // raised to the server's Retry-After hint when present; gives up —
+    // returning the last failure — once the next attempt could not land
+    // before the run deadline (or the request's own deadline budget,
+    // measured from the first attempt). The final transport failure is
+    // rethrown so callers count it as before.
+    auto post_with_retry = [&](HttpClient& client, const std::string& body,
+                               std::uint64_t rng_salt) -> HttpResponse {
+      const auto first_attempt = Clock::now();
+      std::mt19937_64 rng(config.seed ^ (rng_salt * 0x9e3779b97f4a7c15ull));
+      auto backoff = std::chrono::milliseconds(50);
+      for (int attempt = 0;; ++attempt) {
+        bool transport_error = false;
+        HttpResponse resp;
+        try {
+          resp = client.post("/infer", body);
+        } catch (const std::exception&) {
+          transport_error = true;
+        }
+        const bool retriable =
+            transport_error || resp.status == 429 || resp.status == 503;
+        if (!retriable || attempt >= config.retries) {
+          if (transport_error) throw std::runtime_error("transport error");
+          return resp;
+        }
+        auto wait = backoff;
+        if (!transport_error) {
+          const auto hint = resp.headers.find("retry-after");
+          if (hint != resp.headers.end()) {
+            wait = std::max(
+                wait, std::chrono::milliseconds(
+                          std::atoll(hint->second.c_str()) * 1000));
+          }
+        }
+        // Jitter in [0.75, 1.25): decorrelates clients that were all
+        // refused by the same capacity dip.
+        wait = std::chrono::milliseconds(static_cast<long long>(
+            static_cast<double>(wait.count()) *
+            (0.75 + 0.5 * static_cast<double>(rng() % 1024) / 1024.0)));
+        const auto resume = Clock::now() + wait;
+        if (resume >= stop_at ||
+            (config.deadline_ms > 0.0 &&
+             std::chrono::duration<double, std::milli>(resume - first_attempt)
+                     .count() > config.deadline_ms)) {
+          if (transport_error) throw std::runtime_error("transport error");
+          return resp;  // no budget left for another attempt
+        }
+        counters.retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(wait);
+        backoff *= 2;
+      }
+    };
     const std::uint64_t request_cap =
         config.max_requests > 0
             ? static_cast<std::uint64_t>(config.max_requests)
@@ -258,9 +321,9 @@ int main(int argc, char** argv) {
             if (id >= request_cap || Clock::now() >= stop_at) return;
             const auto begin = Clock::now();
             try {
-              const HttpResponse resp =
-                  client.post("/infer", bodies[static_cast<std::size_t>(
-                                            priority_of(id))]);
+              const HttpResponse resp = post_with_retry(
+                  client, bodies[static_cast<std::size_t>(priority_of(id))],
+                  id);
               record(counters, resp.status,
                      std::chrono::duration<double, std::milli>(Clock::now() -
                                                                begin)
@@ -296,9 +359,9 @@ int main(int argc, char** argv) {
             std::this_thread::sleep_until(scheduled);
             issued.fetch_add(1, std::memory_order_relaxed);
             try {
-              const HttpResponse resp = client.post(
-                  "/infer",
-                  bodies[static_cast<std::size_t>(priority_of(i))]);
+              const HttpResponse resp = post_with_retry(
+                  client, bodies[static_cast<std::size_t>(priority_of(i))],
+                  i);
               // Latency from the scheduled arrival: client-side send
               // delay and server queueing both count.
               record(counters, resp.status,
@@ -338,7 +401,8 @@ int main(int argc, char** argv) {
         "{\"bench\":\"http_serving\",\"mode\":\"%s\",\"concurrency\":%d,"
         "\"rate\":%.1f,\"priority_mix\":\"%s\",\"requests\":%llu,"
         "\"ok\":%llu,\"err_429\":%llu,\"err_503\":%llu,\"err_other\":%llu,"
-        "\"err_transport\":%llu,\"error_rate\":%.4f,\"images_per_s\":%.1f,"
+        "\"err_transport\":%llu,\"retries\":%llu,\"error_rate\":%.4f,"
+        "\"images_per_s\":%.1f,"
         "\"p50_ms\":%.2f,\"p99_ms\":%.2f,\"elapsed_s\":%.2f}\n",
         config.mode.c_str(), config.concurrency,
         config.mode == "open" ? config.rate : 0.0,
@@ -348,6 +412,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(e503),
         static_cast<unsigned long long>(eother),
         static_cast<unsigned long long>(etrans),
+        static_cast<unsigned long long>(counters.retries.load()),
         total > 0 ? static_cast<double>(total - ok) /
                         static_cast<double>(total)
                   : 0.0,

@@ -10,6 +10,8 @@
 // --list-endpoints prints the routed paths one per line, which
 // tools/docs_check.sh diffs against docs/serving.md.
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -47,7 +49,18 @@ int usage() {
       "  --max-connections N     concurrent connection cap (default 256)\n"
       "  --read-timeout-ms N     per-connection read deadline\n"
       "  --write-timeout-ms N    per-connection write deadline\n"
-      "  --list-endpoints        print routed endpoint paths and exit\n");
+      "  --list-endpoints        print routed endpoint paths and exit\n"
+      "resilience (see docs/serving.md, 'Failure modes'):\n"
+      "  --canary-period-ms N    replay plan canaries per worker every N ms\n"
+      "                          (0 = off; needs a plan with a canary suite)\n"
+      "  --watchdog-timeout-ms N declare a batch hung after N ms (0 = off)\n"
+      "  --shed-best-effort-below X  shed best-effort admissions when the\n"
+      "                          healthy-worker fraction drops below X\n"
+      "  --shed-batch-below X    shed batch admissions below X too\n"
+      "  --trip-workers N        open the breaker on workers [0, N) at start\n"
+      "chaos (deterministic fault drills):\n"
+      "  --fault-after-s X       activate the plan's fault models after X s\n"
+      "  --fault-clear-after-s X deactivate them again after X s\n");
   return 2;
 }
 
@@ -58,6 +71,9 @@ int main(int argc, char** argv) {
   std::string port_file;
   SchedulerOptions sched;
   HttpServerOptions http;
+  int trip_workers = 0;
+  double fault_after_s = -1.0;
+  double fault_clear_after_s = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +118,22 @@ int main(int argc, char** argv) {
       http.read_timeout = std::chrono::milliseconds(std::atoll(value));
     } else if (arg == "--write-timeout-ms") {
       http.write_timeout = std::chrono::milliseconds(std::atoll(value));
+    } else if (arg == "--canary-period-ms") {
+      sched.resilience.canary_period =
+          std::chrono::milliseconds(std::atoll(value));
+    } else if (arg == "--watchdog-timeout-ms") {
+      sched.resilience.watchdog_timeout =
+          std::chrono::milliseconds(std::atoll(value));
+    } else if (arg == "--shed-best-effort-below") {
+      sched.resilience.shed_best_effort_below = std::atof(value);
+    } else if (arg == "--shed-batch-below") {
+      sched.resilience.shed_batch_below = std::atof(value);
+    } else if (arg == "--trip-workers") {
+      trip_workers = std::atoi(value);
+    } else if (arg == "--fault-after-s") {
+      fault_after_s = std::atof(value);
+    } else if (arg == "--fault-clear-after-s") {
+      fault_clear_after_s = std::atof(value);
     } else {
       return usage();
     }
@@ -112,6 +144,50 @@ int main(int argc, char** argv) {
     auto plan = load_plan(plan_path);
     Scheduler scheduler(*plan, sched);
     HttpServer server(scheduler, *plan, http, plan_path);
+
+    for (int w = 0; w < trip_workers && w < scheduler.worker_count(); ++w) {
+      scheduler.trip_breaker(w);
+    }
+
+    // Chaos timer: flip the plan's fault models on (and optionally back
+    // off) at the configured offsets — a deterministic in-process fault
+    // drill the canary/breaker pipeline is expected to catch.
+    std::atomic<bool> chaos_stop{false};
+    std::thread chaos_thread;
+    if (fault_after_s >= 0.0) {
+      chaos_thread = std::thread([&plan, &chaos_stop, fault_after_s,
+                                  fault_clear_after_s] {
+        const auto set_faults = [&plan](bool active) {
+          if (FaultModel* f = plan->rom_macro().fault_model()) {
+            f->set_active(active);
+          }
+          if (FaultModel* f = plan->sram_macro().fault_model()) {
+            f->set_active(active);
+          }
+        };
+        const auto start = std::chrono::steady_clock::now();
+        const auto elapsed_s = [&start] {
+          return std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+              .count();
+        };
+        while (!chaos_stop.load() && elapsed_s() < fault_after_s) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (chaos_stop.load()) return;
+        set_faults(true);
+        std::printf("{\"event\":\"chaos\",\"faults\":\"active\"}\n");
+        std::fflush(stdout);
+        if (fault_clear_after_s < 0.0) return;
+        while (!chaos_stop.load() && elapsed_s() < fault_clear_after_s) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (chaos_stop.load()) return;
+        set_faults(false);
+        std::printf("{\"event\":\"chaos\",\"faults\":\"cleared\"}\n");
+        std::fflush(stdout);
+      });
+    }
 
     if (!port_file.empty()) {
       // Write-then-rename so a reader never sees a half-written port.
@@ -140,8 +216,24 @@ int main(int argc, char** argv) {
 
     std::printf("yoloc_serve: draining...\n");
     std::fflush(stdout);
+    chaos_stop.store(true);
+    if (chaos_thread.joinable()) chaos_thread.join();
     server.drain();
     scheduler.shutdown();
+    const ResilienceSnapshot res = scheduler.resilience_snapshot();
+    if (res.canary_pass + res.canary_fail + res.watchdog_fires +
+            res.breaker_trips >
+        0) {
+      std::printf(
+          "{\"event\":\"resilience\",\"canary_pass\":%llu,"
+          "\"canary_fail\":%llu,\"breaker_trips\":%llu,"
+          "\"breaker_recoveries\":%llu,\"watchdog_fires\":%llu}\n",
+          static_cast<unsigned long long>(res.canary_pass),
+          static_cast<unsigned long long>(res.canary_fail),
+          static_cast<unsigned long long>(res.breaker_trips),
+          static_cast<unsigned long long>(res.breaker_recoveries),
+          static_cast<unsigned long long>(res.watchdog_fires));
+    }
     const HttpServerStats stats = server.stats();
     std::printf(
         "{\"event\":\"shutdown\",\"connections\":%llu,\"requests\":%llu,"

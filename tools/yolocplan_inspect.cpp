@@ -43,6 +43,8 @@ const char* section_name(std::uint32_t id) {
       return "OPTIONS";
     case 2:
       return "GRAPH";
+    case 3:
+      return "CANARY";
     default:
       return "unknown";
   }
